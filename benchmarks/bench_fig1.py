@@ -1,0 +1,31 @@
+"""Figure 1 — distribution of entries in DFTL's mapping cache.
+
+Paper observations: (a) no more than ~150 entries (usually <90) of each
+cached translation page are resident — under 15% of a 1024-entry page;
+(b) 53%-71% of cached pages hold more than one dirty entry, with mean
+dirty counts above 15 on write-dominant workloads.
+"""
+
+import pytest
+
+from conftest import regenerate
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1a_entries_per_cached_translation_page(benchmark, scale):
+    result = regenerate(benchmark, "fig1a", scale)
+    for row in result.rows:
+        workload, _, mean, _, samples = row
+        assert samples > 0, workload
+        # the motivating observation: far below a whole page
+        assert mean < 0.2 * 1024, workload
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1b_dirty_entries_cdf(benchmark, scale):
+    result = regenerate(benchmark, "fig1b", scale)
+    for workload, payload in result.data.items():
+        # a meaningful share of cached pages co-locate dirty entries —
+        # the batching opportunity TPFTL exploits
+        assert payload["fraction_pages_multi_dirty"] > 0.15, workload
+        assert payload["mean_dirty_per_page"] > 0.5, workload

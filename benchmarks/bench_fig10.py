@@ -1,0 +1,28 @@
+"""Figure 10 — cache space-utilisation improvement of TPFTL over DFTL.
+
+Paper shape: TPFTL keeps up to 33% more mapping entries resident in the
+same byte budget (the 8B/6B compression bound), with larger gains at
+larger caches and on the sequential MSR workloads (entries cluster into
+few TP nodes, amortising the node headers).
+"""
+
+import pytest
+
+from conftest import regenerate
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_cache_space_utilisation(benchmark, scale):
+    result = regenerate(benchmark, "fig10", scale)
+    for workload, series in result.data.items():
+        for fraction, improvement in series.items():
+            # bounded by the 8B/6B compression limit
+            assert improvement <= 1 / 3 + 0.01, (workload, fraction)
+    # MSR clustering beats Financial dispersion at the largest size
+    fractions = sorted(next(iter(result.data.values())))
+    largest = fractions[-1]
+    msr_best = max(result.data["msr-ts"][largest],
+                   result.data["msr-src"][largest])
+    fin_best = max(result.data["financial1"][largest],
+                   result.data["financial2"][largest])
+    assert msr_best >= fin_best - 0.05

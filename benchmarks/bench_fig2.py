@@ -1,0 +1,27 @@
+"""Figure 2 — spatial locality analysis of Financial1.
+
+Paper observations: sequential runs (diagonals in the scatter) are
+interspersed with random accesses, and they make DFTL's cached
+translation-page count dip sharply and recover.
+"""
+
+import pytest
+
+from conftest import regenerate
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2a_access_scatter(benchmark, scale):
+    result = regenerate(benchmark, "fig2a", scale)
+    assert result.data["sequential_extensions"] > 0
+    assert len(result.data["density_map"]) > 0
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2b_cached_translation_pages_over_time(benchmark, scale):
+    result = regenerate(benchmark, "fig2b", scale)
+    series = result.data["series"]
+    assert len(series) >= 5
+    counts = [count for _, count in series]
+    # the count must actually move (sequential dips + recovery)
+    assert max(counts) > min(counts)

@@ -1,0 +1,46 @@
+"""Figure 7 — erase counts and the first half of the ablations.
+
+Paper shape: (a) TPFTL erases ~34.5% fewer blocks than DFTL on average;
+(b) batch-update ('b') collapses the dirty-replacement probability and
+clean-first ('c') compounds it; (c) the prefetchers ('r','s') lift the
+hit ratio while the replacement techniques barely move it.
+"""
+
+import pytest
+
+from conftest import regenerate
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7a_block_erase_count(benchmark, scale):
+    result = regenerate(benchmark, "fig7a", scale)
+    for workload, row in result.data.items():
+        assert row["tpftl"] < 1.0, workload        # fewer than DFTL
+        assert row["optimal"] <= row["tpftl"] + 0.02, workload
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7b_ablation_dirty_probability(benchmark, scale):
+    result = regenerate(benchmark, "fig7b", scale)
+    data = result.data
+    # 'b' is the big lever on Prd; 'bc' at least as good
+    assert data["b"] < 0.3 * data["-"]
+    assert data["bc"] <= data["b"] + 0.02
+    # '-' tracks DFTL (same per-entry replacement cost)
+    assert abs(data["-"] - data["dftl"]) < 0.15
+    # prefetching alone does not fix Prd
+    assert data["rs"] > data["bc"]
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7c_ablation_hit_ratio(benchmark, scale):
+    result = regenerate(benchmark, "fig7c", scale)
+    data = result.data
+    # prefetchers lift the hit ratio over the bare two-level variant
+    assert data["r"] > data["-"]
+    assert data["s"] > data["-"]
+    assert data["rs"] >= max(data["r"], data["s"]) - 0.01
+    # the bare two-level variant does not lose to DFTL
+    assert data["-"] >= data["dftl"] - 0.02
+    # replacement techniques barely move the hit ratio
+    assert abs(data["bc"] - data["-"]) < 0.05

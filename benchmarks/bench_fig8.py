@@ -1,0 +1,39 @@
+"""Figure 8 — ablations on response time/WA and the Prd cache sweep.
+
+Paper shape: (a) 'bc' cuts response time ~24.9% vs '-' and 'rs' ~10.4%;
+on Financial1 'bc' can even beat the complete 'rsbc' (Prd beats hit
+ratio under random writes); (b) the same ordering for write
+amplification; (c) TPFTL's Prd falls with cache size and reaches 0 with
+the table fully cached.
+"""
+
+import pytest
+
+from conftest import regenerate
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8a_ablation_response_time(benchmark, scale):
+    result = regenerate(benchmark, "fig8a", scale)
+    data = result.data
+    assert data["bc"] < data["-"]          # replacement techniques help
+    assert data["rsbc"] < data["dftl"]     # complete TPFTL beats DFTL
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8b_ablation_write_amplification(benchmark, scale):
+    result = regenerate(benchmark, "fig8b", scale)
+    data = result.data
+    assert data["bc"] < data["-"]
+    assert data["rsbc"] < data["-"]
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8c_dirty_probability_vs_cache_size(benchmark, scale):
+    result = regenerate(benchmark, "fig8c", scale)
+    for workload, series in result.data.items():
+        fractions = sorted(series)
+        # fully cached table -> no replacements -> Prd 0
+        assert series[fractions[-1]] == pytest.approx(0.0), workload
+        # smaller caches never beat the full table
+        assert series[fractions[0]] >= series[fractions[-1]], workload

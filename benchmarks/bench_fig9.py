@@ -1,0 +1,40 @@
+"""Figure 9 — impact of cache size on TPFTL.
+
+Paper shape: hit ratio rises and response time / write amplification
+fall monotonically-ish as the cache grows from 1/128 of the mapping
+table to the whole table; MSR workloads saturate early, Financial keeps
+benefiting.
+"""
+
+import pytest
+
+from conftest import regenerate
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9a_hit_ratio_vs_cache_size(benchmark, scale):
+    result = regenerate(benchmark, "fig9a", scale)
+    for workload, series in result.data.items():
+        fractions = sorted(series)
+        smallest, largest = series[fractions[0]], series[fractions[-1]]
+        assert largest >= smallest - 1e-9, workload
+        assert largest > 0.8, workload
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9b_response_time_vs_cache_size(benchmark, scale):
+    result = regenerate(benchmark, "fig9b", scale)
+    for workload, series in result.data.items():
+        fractions = sorted(series)
+        # normalised to the full-table config: smaller caches >= 1
+        assert series[fractions[0]] >= series[fractions[-1]] - 0.02, \
+            workload
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9c_write_amplification_vs_cache_size(benchmark, scale):
+    result = regenerate(benchmark, "fig9c", scale)
+    for workload, series in result.data.items():
+        fractions = sorted(series)
+        assert (series[fractions[0]]
+                >= series[fractions[-1]] - 0.05), workload

@@ -1,0 +1,83 @@
+"""Microbenchmarks of the simulator's hot paths.
+
+Unlike the figure benches (which regenerate paper artifacts once),
+these measure per-operation throughput with real pytest-benchmark
+statistics: cache operations, the translate path of each FTL, and the
+flash program/GC machinery.  Useful for catching performance
+regressions in the simulator itself.
+"""
+
+import random
+
+import pytest
+
+from repro.cache import LRUDict
+from repro.config import CacheConfig, SimulationConfig, SSDConfig
+from repro.ftl import make_ftl
+
+SSD = SSDConfig(logical_pages=4096, page_size=1024, pages_per_block=16)
+
+
+def build(name: str):
+    cache = (CacheConfig(budget_bytes=SSD.gtd_bytes + 4096)
+             if name in ("sftl", "cdftl")
+             else CacheConfig(budget_bytes=SSD.gtd_bytes + 1024))
+    return make_ftl(name, SimulationConfig(ssd=SSD, cache=cache))
+
+
+@pytest.mark.benchmark(group="micro-cache")
+def test_lru_dict_put_get(benchmark):
+    cache = LRUDict()
+    keys = list(range(512))
+
+    def work():
+        for key in keys:
+            cache.put(key, key)
+        for key in keys:
+            cache.get(key)
+
+    benchmark(work)
+
+
+@pytest.mark.benchmark(group="micro-flash")
+def test_flash_program_invalidate_erase_cycle(benchmark):
+    from repro.flash import FlashMemory
+    from repro.types import PageKind
+
+    def work():
+        flash = FlashMemory(SSD)
+        ppns = [flash.program(PageKind.DATA, meta=i) for i in range(256)]
+        for ppn in ppns:
+            flash.invalidate(ppn)
+        for block_id in {flash.block_id_of(p) for p in ppns}:
+            flash.erase(block_id)
+
+    benchmark(work)
+
+
+@pytest.mark.parametrize("name", ["optimal", "dftl", "tpftl", "sftl"])
+@pytest.mark.benchmark(group="micro-translate")
+def test_ftl_page_access_throughput(benchmark, name):
+    ftl = build(name)
+    rng = random.Random(17)
+    lpns = [rng.randrange(SSD.logical_pages) for _ in range(512)]
+    writes = [rng.random() < 0.7 for _ in range(512)]
+
+    def work():
+        for lpn, is_write in zip(lpns, writes):
+            if is_write:
+                ftl.write_page(lpn)
+            else:
+                ftl.read_page(lpn)
+
+    benchmark(work)
+
+
+@pytest.mark.benchmark(group="micro-workload")
+def test_synthetic_generation_throughput(benchmark):
+    from repro.workloads import SyntheticSpec, generate
+    spec = SyntheticSpec(name="bench", logical_pages=65_536,
+                         num_requests=5_000, write_ratio=0.7,
+                         seq_read_fraction=0.3, seq_write_fraction=0.3,
+                         zipf_alpha=12.0)
+    benchmark(lambda: generate(spec))

@@ -1,0 +1,18 @@
+"""Table 2 — deviations of DFTL from the optimal FTL.
+
+Paper values: performance loss 52.6%-63.4% (avg 58.4%), erasure
+increase 30.4%-56.2% (avg 42.3%) across the four workloads.
+"""
+
+import pytest
+
+from conftest import regenerate
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_dftl_deviation_from_optimal(benchmark, scale):
+    result = regenerate(benchmark, "table2", scale)
+    # the translation overhead must cost DFTL real performance
+    for workload, row in result.data.items():
+        assert row["performance"] > 0.05, workload
+        assert row["erasure"] >= 0.0, workload

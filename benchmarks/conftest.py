@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table/figure of the paper via the
+experiment runners, prints it, and saves the rendered text under
+``results/`` so a full ``pytest benchmarks/ --benchmark-only`` run
+leaves the complete paper-vs-measured record on disk (EXPERIMENTS.md is
+written from those files).
+
+Benchmarks run each experiment exactly once (``pedantic`` with one
+round): the interesting output is the experiment's table, not its
+wall-clock variance, and the headline runs are memoised across
+sub-figures so the whole of Fig 6 costs one matrix.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentScale, run_experiment
+from repro.experiments.common import ExperimentResult
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: scale used by the whole benchmark suite (override via --bench-scale)
+_SCALES = {
+    "small": ExperimentScale.small(),
+    "full": ExperimentScale.full(),
+}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale", choices=sorted(_SCALES), default="small",
+        help="experiment scale for the benchmark suite")
+
+
+@pytest.fixture(scope="session")
+def scale(request) -> ExperimentScale:
+    return _SCALES[request.config.getoption("--bench-scale")]
+
+
+def regenerate(benchmark, experiment_id: str,
+               scale: ExperimentScale) -> ExperimentResult:
+    """Run one experiment under pytest-benchmark and persist it."""
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, scale),
+        rounds=1, iterations=1, warmup_rounds=0)
+    text = result.render()
+    print("\n" + text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{experiment_id}_{scale.name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    return result

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Crash a busy FTL and rebuild its mapping from flash alone.
+
+The paper's §1 lists power-failure vulnerability as a cost of large RAM
+mapping caches: every dirty cached entry is state the on-flash
+translation pages do not have yet.  This example runs DFTL and TPFTL
+side by side, "crashes" them mid-workload, scans flash to rebuild the
+mapping (using the per-page out-of-band identity), and reports each
+FTL's consistency debt — TPFTL's batch updates keep far fewer dirty
+entries in RAM, so it has less to lose.
+
+Run:  python examples/crash_recovery.py
+"""
+
+from repro import SimulationConfig, SSDConfig, make_ftl
+from repro.metrics import format_table
+from repro.recovery import recover, recovery_report, verify_recovery
+from repro.workloads import financial1
+
+
+def main() -> None:
+    trace = financial1(logical_pages=16_384, num_requests=15_000)
+    rows = []
+    for name in ("dftl", "tpftl"):
+        config = SimulationConfig(
+            ssd=SSDConfig(logical_pages=trace.logical_pages))
+        ftl = make_ftl(name, config)
+        for request in trace:
+            ftl.serve_request(request)
+        # --- crash: RAM contents (cache + GTD) are gone ---
+        state = recover(ftl)            # full flash scan
+        verify_recovery(ftl)            # scan agrees with live state
+        report = recovery_report(ftl)   # vs the on-flash table
+        rows.append([
+            name,
+            state.mapped_pages(),
+            report.recovered_translation_pages,
+            report.stale_translation_entries,
+            f"{report.stale_fraction * 100:.2f}%",
+        ])
+    print(format_table(
+        ["FTL", "Pages recovered", "Trans pages", "Stale entries",
+         "Stale fraction"],
+        rows,
+        title="Mapping recovery after a simulated power failure"))
+    print("\n'Stale entries' counts mappings whose newest version "
+          "existed only in the\ncrashed RAM cache — the on-flash "
+          "translation pages still point at the old\nlocation. "
+          "Recovery resolves them by scanning page metadata; a "
+          "controller\nwithout such a scan would serve stale data. "
+          "TPFTL's batch-update\nreplacement keeps this debt smaller "
+          "than DFTL's evict-one policy.")
+
+
+if __name__ == "__main__":
+    main()

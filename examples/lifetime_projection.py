@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Project device lifetime under each FTL.
+
+The paper's lifetime argument in one table: every extra translation
+write eventually costs an erase, and each block sustains only ~3,000
+P/E cycles.  This example replays a write-heavy OLTP workload under
+DFTL, TPFTL and the optimal FTL and projects how much host data the
+device could absorb before wearing out, with and without the observed
+wear imbalance.
+
+Run:  python examples/lifetime_projection.py
+"""
+
+from repro import SimulationConfig, SSDConfig, make_ftl, simulate
+from repro.lifetime import estimate_lifetime
+from repro.metrics import format_table
+from repro.workloads import financial1
+
+
+def main() -> None:
+    trace = financial1(logical_pages=16_384, num_requests=25_000)
+    config = SimulationConfig(
+        ssd=SSDConfig(logical_pages=trace.logical_pages))
+    estimates = {}
+    for name in ("dftl", "tpftl", "optimal"):
+        ftl = make_ftl(name, config)
+        run = simulate(ftl, trace, warmup_requests=6_000)
+        estimates[name] = estimate_lifetime(run, config.ssd,
+                                            flash=ftl.flash)
+    base = estimates["dftl"]
+    rows = []
+    for name, estimate in estimates.items():
+        rows.append([
+            name,
+            estimate.erases_per_gb,
+            estimate.projected_user_bytes / 2**40,       # TiB
+            estimate.projected_user_bytes_skewed / 2**40,
+            estimate.relative_lifetime(base),
+            estimate.wear_imbalance,
+        ])
+    print(format_table(
+        ["FTL", "Erases/GiB", "Life (TiB)", "Life skewed (TiB)",
+         "vs DFTL", "Imbalance"],
+        rows, precision=2,
+        title="Projected endurance on a Financial1-like workload "
+              "(3000 P/E cycles)"))
+    print("\nTPFTL's reduced translation writes turn directly into "
+          "fewer erases and a\nlonger projected lifetime — the paper's "
+          "Fig 7(a) expressed in written TiB.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package installs in offline environments whose pip/setuptools cannot
+build PEP 660 editable wheels (``python setup.py develop`` needs no
+``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

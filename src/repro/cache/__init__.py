@@ -1,0 +1,13 @@
+"""Cache substrates shared by every FTL's mapping cache.
+
+The primitives here are policy-free containers: an intrusive doubly linked
+list with O(1) splice operations (:class:`LRUList`), a keyed LRU map on top
+of it (:class:`LRUDict`), and a byte budget tracker (:class:`ByteBudget`).
+The FTLs compose them into DFTL's CMT, S-FTL's page cache and TPFTL's
+two-level lists.
+"""
+
+from .budget import ByteBudget
+from .lru import LRUDict, LRUList, LRUNode
+
+__all__ = ["ByteBudget", "LRUDict", "LRUList", "LRUNode"]

@@ -1,0 +1,230 @@
+"""Intrusive doubly linked LRU list and a keyed LRU map.
+
+``LRUList`` stores :class:`LRUNode` objects (or subclasses) between two
+sentinels; every operation is O(1) except iteration.  The MRU end is the
+head, the LRU end the tail — matching the paper's figures, which draw the
+hottest node leftmost.
+
+Subclassing ``LRUNode`` lets FTLs hang their payloads directly on the list
+node, avoiding a second dictionary lookup on the hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Hashable, Iterator, Optional, TypeVar
+
+
+class LRUNode:
+    """A list node; subclass and add payload fields via ``__slots__``."""
+
+    __slots__ = ("prev", "next")
+
+    def __init__(self) -> None:
+        self.prev: Optional["LRUNode"] = None
+        self.next: Optional["LRUNode"] = None
+
+    @property
+    def linked(self) -> bool:
+        """True when the node is currently in a list."""
+        return self.prev is not None
+
+
+class LRUList:
+    """Doubly linked list with sentinels; head = MRU, tail = LRU."""
+
+    __slots__ = ("_head", "_tail", "_size")
+
+    def __init__(self) -> None:
+        self._head = LRUNode()  # sentinel before MRU
+        self._tail = LRUNode()  # sentinel after LRU
+        self._head.next = self._tail
+        self._tail.prev = self._head
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def mru(self) -> Optional[LRUNode]:
+        """The most-recently-used node, or None when empty."""
+        node = self._head.next
+        return node if node is not self._tail else None
+
+    @property
+    def lru(self) -> Optional[LRUNode]:
+        """The least-recently-used node, or None when empty."""
+        node = self._tail.prev
+        return node if node is not self._head else None
+
+    def prev_of(self, node: LRUNode) -> Optional[LRUNode]:
+        """Neighbour toward the MRU end, or None at the head."""
+        prev = node.prev
+        return prev if prev is not self._head else None
+
+    def next_of(self, node: LRUNode) -> Optional[LRUNode]:
+        """Neighbour toward the LRU end, or None at the tail."""
+        nxt = node.next
+        return nxt if nxt is not self._tail else None
+
+    def push_mru(self, node: LRUNode) -> None:
+        """Insert an unlinked node at the MRU end."""
+        assert not node.linked, "node is already in a list"
+        self._insert_after(self._head, node)
+
+    def push_lru(self, node: LRUNode) -> None:
+        """Insert an unlinked node at the LRU end."""
+        assert not node.linked, "node is already in a list"
+        self._insert_after(self._tail.prev, node)  # type: ignore[arg-type]
+
+    def insert_before(self, anchor: LRUNode, node: LRUNode) -> None:
+        """Insert ``node`` immediately toward-MRU of ``anchor``."""
+        assert not node.linked, "node is already in a list"
+        assert anchor.linked or anchor is self._tail
+        self._insert_after(anchor.prev, node)  # type: ignore[arg-type]
+
+    def remove(self, node: LRUNode) -> None:
+        """Unlink a node from the list."""
+        assert node.linked, "node is not in a list"
+        prev, nxt = node.prev, node.next
+        assert prev is not None and nxt is not None
+        prev.next = nxt
+        nxt.prev = prev
+        node.prev = node.next = None
+        self._size -= 1
+
+    def move_to_mru(self, node: LRUNode) -> None:
+        """Unlink the node and reinsert it at the MRU end."""
+        self.remove(node)
+        self.push_mru(node)
+
+    def pop_lru(self) -> Optional[LRUNode]:
+        """Remove and return the LRU node (None when empty)."""
+        node = self.lru
+        if node is not None:
+            self.remove(node)
+        return node
+
+    def __iter__(self) -> Iterator[LRUNode]:
+        """Iterate from MRU to LRU; do not mutate while iterating."""
+        node = self._head.next
+        while node is not self._tail:
+            assert node is not None
+            yield node
+            node = node.next
+
+    def iter_lru(self) -> Iterator[LRUNode]:
+        """Iterate from LRU to MRU; safe against removing the *yielded*
+        node only after advancing, so collect victims first if evicting."""
+        node = self._tail.prev
+        while node is not self._head:
+            assert node is not None
+            yield node
+            node = node.prev
+
+    def _insert_after(self, anchor: LRUNode, node: LRUNode) -> None:
+        nxt = anchor.next
+        assert nxt is not None
+        node.prev = anchor
+        node.next = nxt
+        anchor.next = node
+        nxt.prev = node
+        self._size += 1
+
+
+K = TypeVar("K", bound=Hashable)
+
+
+class KeyedNode(LRUNode, Generic[K]):
+    """List node that remembers its key and an arbitrary value."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: K, value) -> None:
+        super().__init__()
+        self.key = key
+        self.value = value
+
+
+class LRUDict(Generic[K]):
+    """Dictionary with LRU ordering: O(1) get/put/evict.
+
+    This is the classic CMT shape (DFTL) and also serves S-FTL's
+    page-granularity cache; capacity enforcement is left to the caller
+    because eviction cost is policy (writebacks, batching, ...).
+    """
+
+    __slots__ = ("_map", "_list")
+
+    def __init__(self) -> None:
+        self._map: Dict[K, KeyedNode[K]] = {}
+        self._list = LRUList()
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._map
+
+    def get(self, key: K, touch: bool = True):
+        """Return the value for ``key`` (or None); bump recency if asked."""
+        node = self._map.get(key)
+        if node is None:
+            return None
+        if touch:
+            self._list.move_to_mru(node)
+        return node.value
+
+    def node(self, key: K) -> Optional[KeyedNode[K]]:
+        """The internal node for ``key`` without touching recency."""
+        return self._map.get(key)
+
+    def put(self, key: K, value) -> None:
+        """Insert or update ``key`` at the MRU position."""
+        node = self._map.get(key)
+        if node is None:
+            node = KeyedNode(key, value)
+            self._map[key] = node
+            self._list.push_mru(node)
+        else:
+            node.value = value
+            self._list.move_to_mru(node)
+
+    def touch(self, key: K) -> None:
+        """Promote ``key`` to the MRU position."""
+        node = self._map[key]
+        self._list.move_to_mru(node)
+
+    def remove(self, key: K):
+        """Remove and return the value for ``key`` (KeyError if absent)."""
+        node = self._map.pop(key)
+        self._list.remove(node)
+        return node.value
+
+    def lru_key(self) -> Optional[K]:
+        """The key at the LRU end, or None when empty."""
+        node = self._list.lru
+        return node.key if node is not None else None  # type: ignore
+
+    def pop_lru(self):
+        """Remove and return the ``(key, value)`` at the LRU end."""
+        node = self._list.pop_lru()
+        if node is None:
+            return None
+        assert isinstance(node, KeyedNode)
+        del self._map[node.key]
+        return node.key, node.value
+
+    def keys_mru_to_lru(self) -> Iterator[K]:
+        """Iterate keys from most to least recent."""
+        for node in self._list:
+            assert isinstance(node, KeyedNode)
+            yield node.key
+
+    def keys_lru_to_mru(self) -> Iterator[K]:
+        """Iterate keys from least to most recent."""
+        for node in self._list.iter_lru():
+            assert isinstance(node, KeyedNode)
+            yield node.key

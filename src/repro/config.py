@@ -1,0 +1,315 @@
+"""Configuration objects for the simulated SSD and its mapping cache.
+
+The defaults follow Table 3 of the paper (Agrawal et al. SSD parameters):
+4KB pages, 256KB blocks (64 pages), 25us read / 200us write / 1.5ms erase,
+15% over-provisioning.  The mapping-cache sizing rule follows §5.1: the
+cache is as large as a block-level FTL's mapping table (4B per block) plus
+the Global Translation Directory (4B per translation page), i.e. 1/128 of
+the full page-level table for these geometries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .errors import ConfigError
+
+#: Bytes per mapping entry in a flat page-level table (4B LPN + 4B PPN).
+FULL_ENTRY_BYTES = 8
+#: Bytes per PPN stored inside a translation page (LPN implied by offset).
+PPN_BYTES = 4
+#: Bytes per cached entry in DFTL's CMT (LPN + PPN).
+DFTL_ENTRY_BYTES = 8
+#: Bytes per cached entry node in TPFTL (10-bit offset + PPN, rounded: 6B).
+TPFTL_ENTRY_BYTES = 6
+#: Bytes of cache overhead per TPFTL TP node (VTPN + bookkeeping).
+TPFTL_NODE_BYTES = 8
+#: Bytes per GTD slot (a PTPN).
+GTD_SLOT_BYTES = 4
+#: Bytes per slot of a block-level mapping table (used only to size caches).
+BLOCK_TABLE_SLOT_BYTES = 4
+
+
+@dataclass(frozen=True)
+class SSDConfig:
+    """Geometry, timing and provisioning of the simulated SSD.
+
+    ``logical_pages`` is the exported (host-visible) capacity in pages.
+    Physical capacity is derived from it: enough blocks for user data plus
+    ``over_provision`` extra, plus blocks for the translation pages, plus a
+    small reserve so GC always has scratch blocks.
+    """
+
+    logical_pages: int = 8192
+    page_size: int = 4096
+    pages_per_block: int = 64
+    read_us: float = 25.0
+    write_us: float = 200.0
+    erase_us: float = 1500.0
+    over_provision: float = 0.15
+    #: GC starts when the free-block count drops to this many blocks.
+    gc_threshold_blocks: int = 2
+    #: extra always-free blocks reserved so GC can never deadlock.
+    gc_reserve_blocks: int = 3
+    #: at most this many victim blocks are collected per page access
+    #: (amortised GC, as in FlashSim); the limit is ignored when the
+    #: pool falls to the emergency reserve.  Keeps GC cost spread across
+    #: requests instead of multi-millisecond bursts.
+    gc_max_collections_per_access: int = 2
+
+    def __post_init__(self) -> None:
+        if self.logical_pages <= 0:
+            raise ConfigError("logical_pages must be positive")
+        if self.page_size <= 0 or self.page_size % PPN_BYTES:
+            raise ConfigError("page_size must be a positive multiple of 4")
+        if self.pages_per_block <= 0:
+            raise ConfigError("pages_per_block must be positive")
+        if not 0.0 <= self.over_provision < 1.0:
+            raise ConfigError("over_provision must be in [0, 1)")
+        if min(self.read_us, self.write_us, self.erase_us) < 0:
+            raise ConfigError("latencies must be non-negative")
+        if self.gc_threshold_blocks < 1:
+            raise ConfigError("gc_threshold_blocks must be >= 1")
+        if self.gc_reserve_blocks < 1:
+            raise ConfigError("gc_reserve_blocks must be >= 1")
+        if self.gc_max_collections_per_access < 1:
+            raise ConfigError(
+                "gc_max_collections_per_access must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @property
+    def entries_per_translation_page(self) -> int:
+        """Mapping entries stored per translation page (PPNs only)."""
+        return self.page_size // PPN_BYTES
+
+    @property
+    def translation_pages(self) -> int:
+        """Translation pages needed to map the whole logical space."""
+        return max(1, math.ceil(self.logical_pages
+                                / self.entries_per_translation_page))
+
+    @property
+    def logical_blocks(self) -> int:
+        """Blocks needed to hold the logical space exactly once."""
+        return math.ceil(self.logical_pages / self.pages_per_block)
+
+    @property
+    def translation_blocks_budget(self) -> int:
+        """Blocks budgeted for translation pages (with over-provisioning)."""
+        raw = math.ceil(self.translation_pages / self.pages_per_block)
+        return max(2, math.ceil(raw * (1.0 + self.over_provision)) + 1)
+
+    @property
+    def physical_blocks(self) -> int:
+        """Total physical blocks in the device."""
+        data = math.ceil(self.logical_blocks * (1.0 + self.over_provision))
+        return (data + self.translation_blocks_budget
+                + self.gc_reserve_blocks + self.gc_threshold_blocks)
+
+    @property
+    def physical_pages(self) -> int:
+        """Total physical pages in the device."""
+        return self.physical_blocks * self.pages_per_block
+
+    @property
+    def gc_trigger_blocks(self) -> int:
+        """Free-pool level at which amortised GC starts.
+
+        Kept small (threshold + reserve): triggering earlier would keep
+        the pool artificially large, shrinking the effective
+        over-provisioning and inflating Vd/write amplification.
+        """
+        return self.gc_threshold_blocks + self.gc_reserve_blocks
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Host-visible capacity in bytes."""
+        return self.logical_pages * self.page_size
+
+    # ------------------------------------------------------------------
+    # Mapping-table sizes
+    # ------------------------------------------------------------------
+    @property
+    def full_table_bytes(self) -> int:
+        """Size of a flat page-level mapping table at 8B per entry."""
+        return self.logical_pages * FULL_ENTRY_BYTES
+
+    @property
+    def gtd_bytes(self) -> int:
+        """Size of the Global Translation Directory."""
+        return self.translation_pages * GTD_SLOT_BYTES
+
+    @property
+    def block_table_bytes(self) -> int:
+        """Size of a block-level FTL's mapping table (cache sizing rule)."""
+        return self.logical_blocks * BLOCK_TABLE_SLOT_BYTES
+
+    def paper_cache_bytes(self) -> int:
+        """Mapping-cache size used by the paper's §5.1 rule.
+
+        Equal to the block-level mapping table plus the GTD; for the
+        paper's geometries this is 1/128 of the full page-level table
+        (e.g. 8.5KB for a 512MB device, 272KB for 16GB).
+        """
+        return self.block_table_bytes + self.gtd_bytes
+
+    def cache_bytes_for_fraction(self, fraction: float) -> int:
+        """Cache size equal to ``fraction`` of the full mapping table.
+
+        Used by the cache-size sweeps (Fig 8c/9/10), where sizes are
+        normalised to the full table; the GTD is carved out of this
+        budget just as in the paper's baseline configuration.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigError("cache fraction must be in (0, 1]")
+        return max(1, math.ceil(self.full_table_bytes * fraction))
+
+    def scaled(self, **changes) -> "SSDConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # NAND generation profiles
+    # ------------------------------------------------------------------
+    @classmethod
+    def slc(cls, **overrides) -> "SSDConfig":
+        """Single-level-cell NAND: fast writes, high endurance.
+
+        Typical datasheet figures of the paper's era (e.g. Micron SLC):
+        25us read, 200us program, 1.5ms erase — which is also Table 3,
+        so this equals the default profile.
+        """
+        params = dict(read_us=25.0, write_us=200.0, erase_us=1500.0)
+        params.update(overrides)
+        return cls(**params)
+
+    @classmethod
+    def mlc(cls, **overrides) -> "SSDConfig":
+        """Multi-level-cell NAND: the §3.3 motivation case.
+
+        MLC programs are several times slower than SLC (typ. 50us read,
+        900us program, 3ms erase for 2x-nm MLC), which is exactly why
+        the paper argues extra translation writes are so costly.
+        """
+        params = dict(read_us=50.0, write_us=900.0, erase_us=3000.0)
+        params.update(overrides)
+        return cls(**params)
+
+    @classmethod
+    def tlc(cls, **overrides) -> "SSDConfig":
+        """Triple-level-cell NAND: slower still (typ. 75us read,
+        1.5ms program, 4.5ms erase)."""
+        params = dict(read_us=75.0, write_us=1500.0, erase_us=4500.0)
+        params.update(overrides)
+        return cls(**params)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Byte budget and layout parameters of the mapping cache.
+
+    ``budget_bytes`` is the *total* RAM given to address translation; the
+    GTD (sized by the SSD geometry) is always resident and is subtracted
+    before entries are admitted, per §5.1.
+    """
+
+    budget_bytes: int
+    dftl_entry_bytes: int = DFTL_ENTRY_BYTES
+    tpftl_entry_bytes: int = TPFTL_ENTRY_BYTES
+    tpftl_node_bytes: int = TPFTL_NODE_BYTES
+    #: fraction of an S-FTL cache reserved as its dirty buffer.
+    sftl_dirty_buffer_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.budget_bytes <= 0:
+            raise ConfigError("cache budget must be positive")
+        if self.dftl_entry_bytes <= 0 or self.tpftl_entry_bytes <= 0:
+            raise ConfigError("entry sizes must be positive")
+        if self.tpftl_node_bytes < 0:
+            raise ConfigError("node overhead must be non-negative")
+        if not 0.0 <= self.sftl_dirty_buffer_fraction < 1.0:
+            raise ConfigError("dirty buffer fraction must be in [0, 1)")
+
+    def entry_budget_bytes(self, gtd_bytes: int) -> int:
+        """Bytes left for cached entries after the resident GTD."""
+        remaining = self.budget_bytes - gtd_bytes
+        if remaining <= 0:
+            raise ConfigError(
+                f"cache budget {self.budget_bytes}B cannot even hold the "
+                f"GTD ({gtd_bytes}B)")
+        return remaining
+
+
+@dataclass(frozen=True)
+class TPFTLConfig:
+    """Feature switches and tuning knobs of TPFTL (§4).
+
+    The four technique flags correspond to the paper's ablation monograms:
+    ``r`` request-level prefetching, ``s`` selective prefetching,
+    ``b`` batch-update replacement, ``c`` clean-first replacement.
+    ``rsbc`` (all on) is the complete TPFTL; all off is the `--` variant.
+    """
+
+    request_prefetch: bool = True
+    selective_prefetch: bool = True
+    batch_update: bool = True
+    clean_first: bool = True
+    #: |counter| that toggles selective prefetching (paper: 3).
+    selective_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.selective_threshold < 1:
+            raise ConfigError("selective_threshold must be >= 1")
+
+    @classmethod
+    def from_monogram(cls, monogram: str) -> "TPFTLConfig":
+        """Build a config from a paper-style monogram like ``"bc"``.
+
+        The special value ``"-"`` (or empty string) disables everything.
+        """
+        text = monogram.strip().lower()
+        if text in ("-", "--", ""):
+            text = ""
+        allowed = set("rsbc")
+        bad = set(text) - allowed
+        if bad:
+            raise ConfigError(f"unknown technique letters: {sorted(bad)}")
+        return cls(
+            request_prefetch="r" in text,
+            selective_prefetch="s" in text,
+            batch_update="b" in text,
+            clean_first="c" in text,
+        )
+
+    @property
+    def monogram(self) -> str:
+        """Paper-style monogram for this configuration."""
+        text = "".join(letter for letter, on in (
+            ("r", self.request_prefetch),
+            ("s", self.selective_prefetch),
+            ("b", self.batch_update),
+            ("c", self.clean_first),
+        ) if on)
+        return text or "-"
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Top-level bundle handed to the device model."""
+
+    ssd: SSDConfig = field(default_factory=SSDConfig)
+    cache: Optional[CacheConfig] = None
+    tpftl: TPFTLConfig = field(default_factory=TPFTLConfig)
+    #: sample the cache distribution every this many user page accesses
+    #: (0 disables sampling); the paper samples every 10,000.
+    sample_interval: int = 0
+
+    def resolved_cache(self) -> CacheConfig:
+        """The cache config, defaulting to the paper's §5.1 sizing rule."""
+        if self.cache is not None:
+            return self.cache
+        return CacheConfig(budget_bytes=self.ssd.paper_cache_bytes())

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the TPFTL reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single type at the API boundary.  Subclasses are split
+along subsystem lines (flash substrate, cache management, FTL logic,
+workload handling, configuration) because those are the natural recovery
+boundaries: a trace-format problem is actionable by the user, while a flash
+invariant violation indicates a simulator bug and should propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent with another."""
+
+
+class FlashError(ReproError):
+    """Base class for flash-substrate errors."""
+
+
+class ProgramError(FlashError):
+    """A page was programmed in violation of NAND constraints.
+
+    Raised when writing to a non-free page (erase-before-write violation)
+    or to an out-of-range physical address.
+    """
+
+
+class EraseError(FlashError):
+    """A block erase violated NAND constraints (e.g. valid pages remain)."""
+
+
+class OutOfSpaceError(FlashError):
+    """The flash ran out of free blocks and garbage collection cannot help.
+
+    This happens when the logical space plus metadata exceeds the physical
+    capacity minus over-provisioning, i.e. the device is misconfigured for
+    the workload footprint.
+    """
+
+
+class CacheError(ReproError):
+    """Base class for mapping-cache errors."""
+
+
+class CacheCapacityError(CacheError):
+    """The cache budget is too small to hold even one working unit."""
+
+
+class FTLError(ReproError):
+    """An FTL-level invariant was violated (simulator bug)."""
+
+
+class TranslationError(FTLError):
+    """Address translation failed: the LPN has no mapping anywhere."""
+
+
+class WorkloadError(ReproError):
+    """A trace could not be parsed or a generator was misconfigured."""
+
+
+class ExperimentError(ReproError):
+    """An experiment runner was asked for an unknown experiment/FTL."""

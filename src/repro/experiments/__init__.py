@@ -1,0 +1,14 @@
+"""Experiment runners: one per table/figure of the paper's evaluation.
+
+Each runner regenerates the rows/series of its table or figure and
+returns an :class:`~repro.experiments.common.ExperimentResult` whose
+``render()`` prints a paper-comparable text table.  The registry maps
+experiment ids (``table2``, ``fig6a`` ... ``fig10``) to runners; the CLI
+(``python -m repro.experiments``) runs them from the command line.
+"""
+
+from .common import ExperimentResult, ExperimentScale, run_matrix
+from .registry import EXPERIMENTS, run_experiment
+
+__all__ = ["ExperimentResult", "ExperimentScale", "run_matrix",
+           "EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,90 @@
+"""Command-line entry point for the experiment runners.
+
+Usage::
+
+    python -m repro.experiments fig6a fig6b      # specific experiments
+    python -m repro.experiments all              # everything, in order
+    python -m repro.experiments all --scale full # paper-scale runs
+    tpftl-experiments table2                     # installed script
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .common import ExperimentScale
+from .registry import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="tpftl-experiments",
+        description=("Regenerate the tables and figures of the TPFTL "
+                     "paper (EuroSys'15)"))
+    parser.add_argument(
+        "experiments", nargs="+",
+        help=f"experiment ids ({', '.join(EXPERIMENTS)}) or 'all'")
+    parser.add_argument(
+        "--scale", choices=("small", "full"), default="small",
+        help="small: CI-sized runs (default); full: paper-scale runs")
+    parser.add_argument(
+        "--requests", type=int, default=None,
+        help="override the number of trace requests")
+    parser.add_argument(
+        "--warmup", type=int, default=None,
+        help="override the number of warmup requests")
+    parser.add_argument(
+        "--json", metavar="DIR", default=None,
+        help="also write each result as JSON into this directory")
+    return parser
+
+
+def resolve_scale(args: argparse.Namespace) -> ExperimentScale:
+    """Build the ExperimentScale the CLI args select."""
+    scale = (ExperimentScale.full() if args.scale == "full"
+             else ExperimentScale.small())
+    overrides = {}
+    if args.requests is not None:
+        overrides["num_requests"] = args.requests
+    if args.warmup is not None:
+        overrides["warmup_requests"] = args.warmup
+    if overrides:
+        from dataclasses import replace
+        scale = replace(scale, **overrides)
+    return scale
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    ids = list(args.experiments)
+    if len(ids) == 1 and ids[0].lower() == "all":
+        ids = list(EXPERIMENTS)
+    unknown = [i for i in ids if i.lower() not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    scale = resolve_scale(args)
+    json_dir = None
+    if args.json is not None:
+        from pathlib import Path
+        json_dir = Path(args.json)
+        json_dir.mkdir(parents=True, exist_ok=True)
+    for experiment_id in ids:
+        started = time.time()
+        result = run_experiment(experiment_id, scale)
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"({elapsed:.1f}s)\n")
+        if json_dir is not None:
+            path = json_dir / f"{experiment_id}_{scale.name}.json"
+            path.write_text(result.to_json(), encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""Shared infrastructure for the experiment runners.
+
+The paper's Fig 6 and Fig 7(a) all derive from one matrix of runs
+(4 workloads x 4 FTLs); :func:`run_matrix` computes and memoises that
+matrix per scale so each sub-figure renders instantly once any of them
+has run.  ``ExperimentScale`` bundles the knobs that trade fidelity for
+runtime (request count, warmup, workload sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import CacheConfig, SimulationConfig, SSDConfig, TPFTLConfig
+from ..errors import ExperimentError
+from ..ftl import make_ftl
+from ..metrics.report import format_table
+from ..ssd import RunResult, simulate
+from ..types import Trace
+from ..workloads import make_preset
+
+#: the paper's evaluation workloads, in figure order
+WORKLOADS = ("financial1", "financial2", "msr-ts", "msr-src")
+#: the FTLs of the headline figures, in legend order
+HEADLINE_FTLS = ("dftl", "tpftl", "sftl", "optimal")
+#: the ablation monograms of Fig 7(b,c)/8(a,b), in X-axis order
+ABLATION_CONFIGS = ("dftl", "-", "b", "c", "bc", "r", "s", "rs", "rsbc")
+#: cache sizes of Fig 8(c)/9/10, as fractions of the full mapping table
+CACHE_FRACTIONS = (1 / 128, 1 / 64, 1 / 32, 1 / 16, 1 / 8, 1 / 4,
+                   1 / 2, 1.0)
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Runtime/fidelity knobs shared by every experiment.
+
+    ``small`` is sized for CI and pytest-benchmark; ``full`` runs the
+    default preset sizes with longer traces (minutes per figure).
+    """
+
+    name: str = "small"
+    num_requests: int = 60_000
+    warmup_requests: int = 15_000
+    financial_pages: int = 65_536   # 256MB (paper: 512MB)
+    msr_pages: int = 131_072        # 512MB (paper: 16GB)
+    #: subset of CACHE_FRACTIONS used by the sweep figures
+    cache_fractions: Sequence[float] = (1 / 128, 1 / 32, 1 / 8, 1 / 2,
+                                        1.0)
+    sample_interval: int = 2_000
+
+    @classmethod
+    def small(cls) -> "ExperimentScale":
+        """The default CI-sized scale."""
+        return cls()
+
+    @classmethod
+    def full(cls) -> "ExperimentScale":
+        """The paper's Financial geometry and a 1GB MSR stand-in, with
+        traces long enough to overwrite the device several times."""
+        return cls(name="full", num_requests=300_000,
+                   warmup_requests=60_000,
+                   financial_pages=131_072, msr_pages=262_144,
+                   cache_fractions=CACHE_FRACTIONS,
+                   sample_interval=10_000)
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: a title, a table, and raw data."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    notes: str = ""
+    #: machine-readable payload for tests and downstream tooling
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def render(self, precision: int = 4) -> str:
+        """Render the result as an aligned text table."""
+        text = format_table(self.headers, self.rows, precision=precision,
+                            title=f"[{self.experiment_id}] {self.title}")
+        if self.notes:
+            text += f"\n{self.notes}"
+        return text
+
+    def to_json(self) -> str:
+        """Serialise the result (headers, rows, data) as JSON.
+
+        Non-string dictionary keys in ``data`` (tuples, floats) are
+        stringified so the payload is loadable anywhere; intended for
+        downstream plotting tools.
+        """
+        import json
+
+        def keyed(value):
+            if isinstance(value, dict):
+                return {str(k): keyed(v) for k, v in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [keyed(v) for v in value]
+            return value
+
+        return json.dumps({
+            "experiment": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": keyed(self.rows),
+            "notes": self.notes,
+            "data": keyed(self.data),
+        }, indent=2)
+
+
+# ----------------------------------------------------------------------
+# Workload and run construction
+# ----------------------------------------------------------------------
+def build_workload(name: str, scale: ExperimentScale) -> Trace:
+    """Build one of the paper's four workloads at the given scale."""
+    pages = (scale.msr_pages if name.startswith("msr")
+             else scale.financial_pages)
+    return make_preset(name, logical_pages=pages,
+                       num_requests=scale.num_requests)
+
+
+def simulation_config(trace: Trace,
+                      cache_fraction: Optional[float] = None,
+                      tpftl: Optional[TPFTLConfig] = None
+                      ) -> SimulationConfig:
+    """The paper's §5.1 configuration for a trace.
+
+    The SSD is as large as the trace's logical address space; the cache
+    follows the block-table+GTD rule unless ``cache_fraction`` (of the
+    full mapping table) is given, as in the Fig 8(c)/9/10 sweeps.
+    """
+    ssd = SSDConfig(logical_pages=trace.logical_pages)
+    cache = None
+    if cache_fraction is not None:
+        cache = CacheConfig(
+            budget_bytes=ssd.cache_bytes_for_fraction(cache_fraction))
+    return SimulationConfig(ssd=ssd, cache=cache,
+                            tpftl=tpftl or TPFTLConfig())
+
+
+def run_one(workload: str, ftl_name: str, scale: ExperimentScale,
+            cache_fraction: Optional[float] = None,
+            tpftl: Optional[TPFTLConfig] = None,
+            sample_interval: int = 0,
+            trace: Optional[Trace] = None) -> RunResult:
+    """Run one (workload, FTL) cell with the paper's configuration."""
+    if trace is None:
+        trace = build_workload(workload, scale)
+    config = simulation_config(trace, cache_fraction=cache_fraction,
+                               tpftl=tpftl)
+    ftl = make_ftl(ftl_name, config)
+    return simulate(ftl, trace, sample_interval=sample_interval,
+                    warmup_requests=scale.warmup_requests)
+
+
+# Memoised matrix shared by Table 2, Fig 6(a-f) and Fig 7(a).
+_MATRIX_CACHE: Dict[Tuple, Dict[Tuple[str, str], RunResult]] = {}
+
+
+def run_matrix(scale: ExperimentScale,
+               workloads: Sequence[str] = WORKLOADS,
+               ftls: Sequence[str] = HEADLINE_FTLS
+               ) -> Dict[Tuple[str, str], RunResult]:
+    """All (workload, FTL) runs of the headline evaluation, memoised."""
+    key = (scale, tuple(workloads), tuple(ftls))
+    cached = _MATRIX_CACHE.get(key)
+    if cached is not None:
+        return cached
+    matrix: Dict[Tuple[str, str], RunResult] = {}
+    for workload in workloads:
+        trace = build_workload(workload, scale)
+        for ftl_name in ftls:
+            matrix[(workload, ftl_name)] = run_one(
+                workload, ftl_name, scale, trace=trace)
+    _MATRIX_CACHE[key] = matrix
+    return matrix
+
+
+def clear_matrix_cache() -> None:
+    """Drop memoised runs (used by tests to control memory)."""
+    _MATRIX_CACHE.clear()
+
+
+def tpftl_variant(monogram: str) -> TPFTLConfig:
+    """The TPFTL configuration for an ablation monogram."""
+    return TPFTLConfig.from_monogram(monogram)
+
+
+def run_ablation_cell(monogram: str, scale: ExperimentScale,
+                      workload: str = "financial1",
+                      trace: Optional[Trace] = None) -> RunResult:
+    """One Fig 7(b,c)/8(a,b) cell: DFTL or a TPFTL variant on Fin1."""
+    if monogram == "dftl":
+        return run_one(workload, "dftl", scale, trace=trace)
+    if monogram not in ABLATION_CONFIGS:
+        raise ExperimentError(f"unknown ablation config {monogram!r}")
+    return run_one(workload, "tpftl", scale,
+                   tpftl=tpftl_variant(monogram), trace=trace)

@@ -1,0 +1,100 @@
+"""Figure 8 — ablations (part 2) and the cache-size sweep of Prd.
+
+(a) mean system response time per TPFTL configuration on Financial1,
+    normalised to DFTL;
+(b) write amplification per configuration;
+(c) probability of replacing a dirty entry for TPFTL as the cache grows
+    from 1/128 of the mapping table to the full table, per workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..ssd import RunResult
+from .common import (ABLATION_CONFIGS, ExperimentResult, ExperimentScale,
+                     WORKLOADS, build_workload, run_one)
+from .fig7 import ablation_runs
+
+_SWEEP_CACHE: Dict[tuple, Dict[tuple, RunResult]] = {}
+
+
+def cache_sweep_runs(scale: ExperimentScale) -> Dict[tuple, RunResult]:
+    """TPFTL runs per (workload, cache fraction), memoised per scale."""
+    key = (scale,)
+    cached = _SWEEP_CACHE.get(key)
+    if cached is not None:
+        return cached
+    runs: Dict[tuple, RunResult] = {}
+    for workload in WORKLOADS:
+        trace = build_workload(workload, scale)
+        for fraction in scale.cache_fractions:
+            runs[(workload, fraction)] = run_one(
+                workload, "tpftl", scale, cache_fraction=fraction,
+                trace=trace)
+    _SWEEP_CACHE[key] = runs
+    return runs
+
+
+def run_fig8a(scale: ExperimentScale) -> ExperimentResult:
+    """Regenerate this figure/table; see the module docstring."""
+    runs = ablation_runs(scale)
+    base = runs["dftl"].response.mean
+    rows = [[m, runs[m].response.mean / base if base else 0.0]
+            for m in ABLATION_CONFIGS]
+    return ExperimentResult(
+        experiment_id="fig8a",
+        title=("Mean system response time per TPFTL configuration "
+               "(Financial1, normalised to DFTL)"),
+        headers=["Config", "Response time / DFTL"],
+        rows=rows,
+        notes="paper: replacement techniques ('bc') -24.9% and "
+              "prefetching ('rs') -10.4% vs '-'; 'bc' even beats "
+              "'rsbc' on Financial1 (Prd matters more than hit ratio "
+              "under random writes)",
+        data={m: runs[m].response.mean for m in ABLATION_CONFIGS},
+    )
+
+
+def run_fig8b(scale: ExperimentScale) -> ExperimentResult:
+    """Regenerate this figure/table; see the module docstring."""
+    runs = ablation_runs(scale)
+    rows = [[m, runs[m].metrics.write_amplification]
+            for m in ABLATION_CONFIGS]
+    return ExperimentResult(
+        experiment_id="fig8b",
+        title=("Write amplification per TPFTL configuration "
+               "(Financial1)"),
+        headers=["Config", "Write amplification"],
+        rows=rows,
+        notes="paper: 'bc' -21.1% and 'rs' -9.1% vs '-'",
+        data={m: runs[m].metrics.write_amplification
+              for m in ABLATION_CONFIGS},
+    )
+
+
+def run_fig8c(scale: ExperimentScale) -> ExperimentResult:
+    """Regenerate this figure/table; see the module docstring."""
+    runs = cache_sweep_runs(scale)
+    rows: List[List[object]] = []
+    data: Dict[str, Dict[float, float]] = {}
+    for workload in WORKLOADS:
+        row: List[object] = [workload]
+        data[workload] = {}
+        for fraction in scale.cache_fractions:
+            value = runs[(workload, fraction)].metrics.p_replace_dirty
+            row.append(value)
+            data[workload][fraction] = value
+        rows.append(row)
+    headers = ["Workload"] + [f"1/{round(1 / f)}" if f < 1 else "1"
+                              for f in scale.cache_fractions]
+    return ExperimentResult(
+        experiment_id="fig8c",
+        title=("TPFTL probability of replacing a dirty entry vs cache "
+               "size (fraction of full mapping table)"),
+        headers=headers,
+        rows=rows,
+        notes="paper: decreases with cache size, 0% when the table is "
+              "fully cached",
+        data=data,
+    )

@@ -1,0 +1,187 @@
+"""The flash array: blocks, free list, and per-kind write frontiers.
+
+``FlashMemory`` is deliberately policy-free.  It will program the next page
+of the active block for a region (data or translation), invalidate pages,
+and erase blocks — and it counts every operation — but *when* to collect
+garbage, which block to victimise, and how mappings change are decisions of
+the FTL layered on top.  This mirrors the split in FlashSim that the paper
+extends.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
+
+from ..config import SSDConfig
+from ..errors import FlashError, OutOfSpaceError
+from ..types import BlockKind, PageKind, PageState
+from .block import Block
+from .stats import FlashStats
+
+#: Block kind owning pages of each page kind.
+_REGION_OF = {
+    PageKind.DATA: BlockKind.DATA,
+    PageKind.TRANSLATION: BlockKind.TRANSLATION,
+}
+
+
+class FlashMemory:
+    """An array of NAND blocks with one write frontier per region."""
+
+    def __init__(self, config: SSDConfig) -> None:
+        self.config = config
+        self.pages_per_block = config.pages_per_block
+        self.blocks: List[Block] = [
+            Block(i, config.pages_per_block)
+            for i in range(config.physical_blocks)
+        ]
+        self._free: Deque[int] = deque(range(config.physical_blocks))
+        self._active: Dict[BlockKind, Optional[Block]] = {
+            BlockKind.DATA: None,
+            BlockKind.TRANSLATION: None,
+        }
+        self.stats = FlashStats()
+        #: monotonic operation sequence, stamped onto blocks at program
+        #: time so GC policies can reason about block age.
+        self.op_seq = 0
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+    def ppn_of(self, block_id: int, offset: int) -> int:
+        """Compose a PPN from a block id and in-block offset."""
+        return block_id * self.pages_per_block + offset
+
+    def block_id_of(self, ppn: int) -> int:
+        """Block id owning ``ppn``."""
+        return ppn // self.pages_per_block
+
+    def offset_of(self, ppn: int) -> int:
+        """In-block offset of ``ppn``."""
+        return ppn % self.pages_per_block
+
+    def block_of(self, ppn: int) -> Block:
+        """The Block object owning ``ppn``."""
+        return self.blocks[self.block_id_of(ppn)]
+
+    # ------------------------------------------------------------------
+    # Capacity queries
+    # ------------------------------------------------------------------
+    @property
+    def free_block_count(self) -> int:
+        """Blocks currently in the free pool."""
+        return len(self._free)
+
+    @property
+    def gc_needed(self) -> bool:
+        """True once the free pool has shrunk to the GC trigger level."""
+        return len(self._free) <= self.config.gc_trigger_blocks
+
+    @property
+    def exhausted(self) -> bool:
+        """True when only the emergency reserve remains."""
+        return len(self._free) <= self.config.gc_reserve_blocks
+
+    def blocks_of_kind(self, kind: BlockKind) -> Iterable[Block]:
+        """Iterate blocks currently playing role ``kind``."""
+        active = self._active[kind] if kind in self._active else None
+        for block in self.blocks:
+            if block.kind is kind:
+                yield block
+
+    def active_block(self, kind: BlockKind) -> Optional[Block]:
+        """The current write frontier for a region (may be None)."""
+        return self._active[kind]
+
+    def total_erase_count(self) -> int:
+        """Sum of per-block erase counts (wear)."""
+        return sum(block.erase_count for block in self.blocks)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def program(self, kind: PageKind, meta: int) -> int:
+        """Program one page of the given kind; returns its PPN.
+
+        ``meta`` is the logical identity of the content (LPN for data
+        pages, VTPN for translation pages), recorded so GC can find the
+        owner of every valid page.
+        """
+        region = _REGION_OF[kind]
+        block = self._active[region]
+        if block is None or block.is_full:
+            block = self._allocate(region)
+        self.op_seq += 1
+        offset = block.program(meta, self.op_seq)
+        self.stats.record_write(kind)
+        return self.ppn_of(block.block_id, offset)
+
+    def allocate_block(self, region: BlockKind) -> Block:
+        """Take a free block for dedicated use (not the region frontier).
+
+        Used by block-granular FTLs that fill whole blocks themselves
+        (e.g. hybrid-FTL merges); pair with :meth:`program_into`.
+        """
+        if region is BlockKind.FREE:
+            raise FlashError("cannot allocate a block as FREE")
+        if not self._free:
+            raise OutOfSpaceError(
+                "no free blocks left; GC failed to reclaim space")
+        block = self.blocks[self._free.popleft()]
+        block.kind = region
+        return block
+
+    def program_into(self, block: Block, kind: PageKind, meta: int) -> int:
+        """Program the next page of a specific block; returns its PPN."""
+        self.op_seq += 1
+        offset = block.program(meta, self.op_seq)
+        self.stats.record_write(kind)
+        return self.ppn_of(block.block_id, offset)
+
+    def read(self, ppn: int, kind: PageKind) -> int:
+        """Read a page; returns its metadata (LPN/VTPN).
+
+        Reading a non-valid page is a simulator bug and raises.
+        """
+        block = self.block_of(ppn)
+        offset = self.offset_of(ppn)
+        if block.state(offset) is not PageState.VALID:
+            raise FlashError(
+                f"read of {block.state(offset).name} page at PPN {ppn}")
+        self.stats.record_read(kind)
+        meta = block.meta(offset)
+        assert meta is not None
+        return meta
+
+    def invalidate(self, ppn: int) -> None:
+        """Invalidate the page at ``ppn`` (its content was superseded)."""
+        self.block_of(ppn).invalidate(self.offset_of(ppn))
+
+    def erase(self, block_id: int) -> None:
+        """Erase a block and return it to the free pool."""
+        block = self.blocks[block_id]
+        if block.is_free:
+            raise FlashError(f"block {block_id} is already free")
+        kind = block.kind
+        if self._active.get(kind) is block:
+            self._active[kind] = None
+        block.erase()
+        self._free.append(block_id)
+        self.stats.record_erase(kind)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _allocate(self, region: BlockKind) -> Block:
+        if not self._free:
+            raise OutOfSpaceError(
+                "no free blocks left; GC failed to reclaim space")
+        block = self.blocks[self._free.popleft()]
+        block.kind = region
+        self._active[region] = block
+        return block
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FlashMemory(blocks={len(self.blocks)}, "
+                f"free={self.free_block_count})")

@@ -1,0 +1,93 @@
+"""Operation counters for the flash substrate.
+
+The flash array counts *physical* operations only; attribution of those
+operations to causes (user access, cache writeback, GC migration, ...)
+happens in the FTL-level metrics.  Keeping a physical ground truth lets
+integration tests check that the two accountings agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..types import BlockKind, PageKind
+
+
+@dataclass
+class FlashStats:
+    """Raw counts of physical flash operations."""
+
+    page_reads: Dict[PageKind, int] = field(
+        default_factory=lambda: {k: 0 for k in PageKind})
+    page_writes: Dict[PageKind, int] = field(
+        default_factory=lambda: {k: 0 for k in PageKind})
+    erases: Dict[BlockKind, int] = field(
+        default_factory=lambda: {k: 0 for k in BlockKind})
+
+    def record_read(self, kind: PageKind) -> None:
+        """Count one page read of the given kind."""
+        self.page_reads[kind] += 1
+
+    def record_write(self, kind: PageKind) -> None:
+        """Count one page program of the given kind."""
+        self.page_writes[kind] += 1
+
+    def record_erase(self, kind: BlockKind) -> None:
+        """Count one block erase of the given kind."""
+        self.erases[kind] += 1
+
+    # ------------------------------------------------------------------
+    # Convenience totals
+    # ------------------------------------------------------------------
+    @property
+    def total_reads(self) -> int:
+        """All page reads, across kinds."""
+        return sum(self.page_reads.values())
+
+    @property
+    def total_writes(self) -> int:
+        """All page programs, across kinds."""
+        return sum(self.page_writes.values())
+
+    @property
+    def total_erases(self) -> int:
+        """All block erases, across kinds."""
+        return sum(self.erases.values())
+
+    @property
+    def data_writes(self) -> int:
+        """Programs of data pages."""
+        return self.page_writes[PageKind.DATA]
+
+    @property
+    def translation_writes(self) -> int:
+        """Programs of translation pages."""
+        return self.page_writes[PageKind.TRANSLATION]
+
+    @property
+    def data_reads(self) -> int:
+        """Reads of data pages."""
+        return self.page_reads[PageKind.DATA]
+
+    @property
+    def translation_reads(self) -> int:
+        """Reads of translation pages."""
+        return self.page_reads[PageKind.TRANSLATION]
+
+    def snapshot(self) -> "FlashStats":
+        """An independent copy, for before/after deltas."""
+        return FlashStats(
+            page_reads=dict(self.page_reads),
+            page_writes=dict(self.page_writes),
+            erases=dict(self.erases),
+        )
+
+    def reset(self) -> None:
+        """Zero all counters (used after warm-up/prefill)."""
+        for key in self.page_reads:
+            self.page_reads[key] = 0
+        for key in self.page_writes:
+            self.page_writes[key] = 0
+        for key in self.erases:
+            self.erases[key] = 0

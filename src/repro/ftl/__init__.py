@@ -1,0 +1,33 @@
+"""Flash translation layers: the paper's TPFTL and all comparators.
+
+Public surface:
+
+* :class:`BaseFTL` — shared machinery (translation pages, GTD, GC).
+* :class:`OptimalFTL` — whole mapping table in RAM (upper bound).
+* :class:`DFTL` — demand-based baseline (Gupta et al., ASPLOS'09).
+* :class:`TPFTL` — the paper's contribution, with switchable techniques.
+* :class:`SFTL` — page-granularity compressed cache (Jiang et al.).
+* :class:`CDFTL` — two-tier CMT/CTP cache (Qin et al.).
+* :class:`BlockFTL`, :class:`HybridFTL`, :class:`ZFTL` — comparators
+  from the paper's background section (extensions).
+* :func:`make_ftl` — factory by name, used by experiments and benches.
+"""
+
+from .base import BaseFTL
+from .block_ftl import BlockFTL
+from .cdftl import CDFTL
+from .dftl import DFTL
+from .factory import FTL_NAMES, make_ftl
+from .gtd import GlobalTranslationDirectory
+from .hybrid import HybridFTL
+from .mappings import TranslationGeometry
+from .optimal import OptimalFTL
+from .sftl import SFTL
+from .tpftl import TPFTL
+from .zftl import ZFTL
+
+__all__ = [
+    "BaseFTL", "OptimalFTL", "DFTL", "TPFTL", "SFTL", "CDFTL",
+    "BlockFTL", "HybridFTL", "ZFTL", "GlobalTranslationDirectory",
+    "TranslationGeometry", "make_ftl", "FTL_NAMES",
+]

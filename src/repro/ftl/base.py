@@ -1,0 +1,467 @@
+"""Shared FTL machinery: translation pages, prefill, and garbage collection.
+
+``BaseFTL`` implements everything the paper's FTLs have in common —
+
+* the on-flash mapping table packed into translation pages, located via
+  the RAM-resident Global Translation Directory;
+* the write path (out-of-place program, invalidate, mapping update);
+* garbage collection of both data and translation blocks, with DFTL-style
+  batch updates of translation pages for migrated data pages;
+* the cost/metric accounting of §3's models.
+
+Subclasses provide only the *mapping-cache policy*: how a translation is
+served (:meth:`_translate`), how a fresh mapping is recorded
+(:meth:`_record_mapping`), and how GC probes/flushes the cache.
+
+A key representation choice: ``flash_table[lpn]`` always holds what the
+on-flash translation pages currently say.  Cached dirty entries diverge
+from it until a translation-page write folds them back in.  This gives a
+ground truth for consistency tests and makes translation-page content
+implicit (no byte arrays to maintain).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple
+
+from ..config import SimulationConfig
+from ..errors import FTLError, OutOfSpaceError, TranslationError
+from ..flash import FlashMemory
+from ..flash.block import Block
+from ..gc import GreedyPolicy, VictimPolicy, WearLeveler
+from ..metrics import FTLMetrics
+from ..types import (AccessResult, BlockKind, Op, PageKind, Request,
+                     UNMAPPED)
+from .gtd import GlobalTranslationDirectory
+from .mappings import TranslationGeometry
+
+#: causes a translation-page read can be charged to
+_READ_CAUSES = ("load", "writeback", "gc", "migration")
+#: causes a translation-page write can be charged to
+_WRITE_CAUSES = ("writeback", "gc_update", "migration")
+
+
+class BaseFTL(abc.ABC):
+    """Abstract demand-based page-level FTL over a flash array."""
+
+    #: short identifier used by the factory and reports
+    name: str = "base"
+    #: False for FTLs that keep the whole table in RAM (no translation
+    #: pages on flash at all); flips off prefill/GC of translation blocks.
+    uses_translation_pages: bool = True
+
+    def __init__(self, config: SimulationConfig,
+                 victim_policy: Optional[VictimPolicy] = None,
+                 wear_leveler: Optional[WearLeveler] = None,
+                 prefill: bool = True) -> None:
+        self.config = config
+        self.ssd = config.ssd
+        self.flash = FlashMemory(config.ssd)
+        self.geometry = TranslationGeometry(
+            logical_pages=config.ssd.logical_pages,
+            entries_per_page=config.ssd.entries_per_translation_page,
+        )
+        self.gtd = GlobalTranslationDirectory(self.geometry.translation_pages)
+        #: authoritative on-flash mapping: LPN -> PPN as the translation
+        #: pages currently record it.
+        self.flash_table: List[int] = [UNMAPPED] * config.ssd.logical_pages
+        self.metrics = FTLMetrics()
+        self.victim_policy = victim_policy or GreedyPolicy()
+        self.wear_leveler = wear_leveler
+        if prefill:
+            self.prefill()
+
+    # ------------------------------------------------------------------
+    # Policy hooks (the mapping cache) — what subclasses implement
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _translate(self, lpn: int, op: Op, request: Optional[Request],
+                   result: AccessResult) -> int:
+        """Resolve ``lpn`` to its current PPN, managing the cache.
+
+        Must count exactly one lookup (and hit, if served from cache) in
+        ``self.metrics`` and charge any flash traffic to ``result`` via
+        the ``read_translation_page``/``write_translation_page`` helpers.
+        ``request`` is the host request being served (None for synthetic
+        single-page accesses) so request-aware policies can prefetch.
+        """
+
+    @abc.abstractmethod
+    def _record_mapping(self, lpn: int, ppn: int,
+                        result: AccessResult) -> None:
+        """Record a fresh LPN->PPN mapping after a user write.
+
+        Called immediately after :meth:`_translate` for the same LPN, so
+        demand-based caches are guaranteed to hold the entry; marking it
+        dirty must not incur flash traffic here.
+        """
+
+    @abc.abstractmethod
+    def _cache_update_if_present(self, lpn: int, ppn: int) -> bool:
+        """GC hook: update a cached entry in place (making it dirty).
+
+        Returns True on a GC hit (entry was cached), False otherwise.
+        Must not touch flash.
+        """
+
+    def _gc_flush_extras(self, vtpn: int) -> Dict[int, int]:
+        """GC hook: extra cached dirty entries to fold into a forced
+        update of translation page ``vtpn`` (TPFTL's piggyback).  The
+        implementation must mark those entries clean.  Default: none."""
+        return {}
+
+    @abc.abstractmethod
+    def cache_snapshot(self) -> List[Tuple[int, int]]:
+        """Describe the cache as (entries, dirty) per cached translation
+        page, for the Fig 1/2 sampler."""
+
+    @abc.abstractmethod
+    def _dirty_entries_by_page(self) -> Dict[int, Dict[int, int]]:
+        """All dirty cached entries, grouped as {vtpn: {lpn: ppn}}.
+
+        Used by :meth:`flush`; implementations must also expose a way for
+        flush to mark them clean (see :meth:`_mark_all_clean`).
+        """
+
+    def _mark_all_clean(self) -> None:
+        """Mark every cached entry clean (called by :meth:`flush`)."""
+        raise NotImplementedError
+
+    def cache_peek(self, lpn: int) -> Optional[int]:
+        """The cached PPN for ``lpn`` without touching recency, or None.
+
+        Only used by tests and debugging; default None (no cache).
+        """
+        return None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def serve_request(self, request: Request) -> AccessResult:
+        """Serve one host request; returns its flash-operation costs."""
+        result = AccessResult()
+        for lpn in request.pages():
+            self._serve_page(lpn, request.op, request, result)
+        return result
+
+    def read_page(self, lpn: int) -> AccessResult:
+        """Serve a single-page read (convenience API)."""
+        result = AccessResult()
+        self._serve_page(lpn, Op.READ, None, result)
+        return result
+
+    def write_page(self, lpn: int) -> AccessResult:
+        """Serve a single-page write (convenience API)."""
+        result = AccessResult()
+        self._serve_page(lpn, Op.WRITE, None, result)
+        return result
+
+    def lookup_current(self, lpn: int) -> int:
+        """The authoritative current PPN for ``lpn`` (cache wins)."""
+        cached = self.cache_peek(lpn)
+        if cached is not None:
+            return cached
+        return self.flash_table[lpn]
+
+    def flush(self) -> AccessResult:
+        """Write every cached dirty entry back to flash.
+
+        Not part of the paper's experiments (they never flush); exposed
+        for tests and for users who want a consistent shutdown.
+        """
+        result = AccessResult()
+        for vtpn, updates in sorted(self._dirty_entries_by_page().items()):
+            self.read_translation_page(vtpn, "writeback", result)
+            self.write_translation_page(vtpn, updates, "writeback", result)
+        self._mark_all_clean()
+        self._run_gc(result)
+        return result
+
+    def check_consistency(self) -> None:
+        """Raise :class:`FTLError` if internal invariants are broken.
+
+        Verifies that every mapped LPN points at a valid data page whose
+        recorded metadata is that LPN, and that every translation page in
+        the GTD is valid flash.  Intended for tests; O(logical pages).
+        """
+        for lpn, ppn in enumerate(self.flash_table):
+            current = self.lookup_current(lpn)
+            if current == UNMAPPED:
+                continue
+            block = self.flash.block_of(current)
+            offset = self.flash.offset_of(current)
+            meta = block.meta(offset)
+            if meta != lpn:
+                raise FTLError(
+                    f"LPN {lpn} maps to PPN {current} which holds "
+                    f"meta {meta}")
+        if self.uses_translation_pages:
+            for vtpn in range(len(self.gtd)):
+                if not self.gtd.is_mapped(vtpn):
+                    raise FTLError(f"translation page {vtpn} unmapped")
+                ptpn = self.gtd.lookup(vtpn)
+                block = self.flash.block_of(ptpn)
+                if block.meta(self.flash.offset_of(ptpn)) != vtpn:
+                    raise FTLError(
+                        f"GTD points VTPN {vtpn} at PPN {ptpn} holding "
+                        f"{block.meta(self.flash.offset_of(ptpn))}")
+
+    # ------------------------------------------------------------------
+    # Prefill
+    # ------------------------------------------------------------------
+    def prefill(self) -> None:
+        """Bring the device to the paper's "in full use" steady state.
+
+        Writes every logical page once (sequentially) and materialises
+        all translation pages, then zeroes the statistics so experiments
+        measure only the trace.
+        """
+        for lpn in range(self.ssd.logical_pages):
+            ppn = self.flash.program(PageKind.DATA, lpn)
+            self.flash_table[lpn] = ppn
+        if self.uses_translation_pages:
+            for vtpn in range(self.geometry.translation_pages):
+                ptpn = self.flash.program(PageKind.TRANSLATION, vtpn)
+                self.gtd.update(vtpn, ptpn)
+        self.flash.stats.reset()
+        self.metrics = FTLMetrics()
+
+    # ------------------------------------------------------------------
+    # The data path
+    # ------------------------------------------------------------------
+    def _serve_page(self, lpn: int, op: Op, request: Optional[Request],
+                    result: AccessResult) -> None:
+        if not 0 <= lpn < self.ssd.logical_pages:
+            raise TranslationError(
+                f"LPN {lpn} outside device ({self.ssd.logical_pages} pages)")
+        ppn_old = self._translate(lpn, op, request, result)
+        if op is Op.READ:
+            self.metrics.user_page_reads += 1
+            if ppn_old == UNMAPPED:
+                # trimmed/never-written page: real SSDs return zeroes
+                # without touching flash
+                self.metrics.unmapped_reads += 1
+            else:
+                self.flash.read(ppn_old, PageKind.DATA)
+                result.data_reads += 1
+        elif op is Op.WRITE:
+            self.metrics.user_page_writes += 1
+            ppn_new = self.flash.program(PageKind.DATA, lpn)
+            result.data_writes += 1
+            if ppn_old != UNMAPPED:
+                self.flash.invalidate(ppn_old)
+            self._record_mapping(lpn, ppn_new, result)
+        else:  # TRIM: unmap without writing new data
+            self.metrics.user_page_trims += 1
+            if ppn_old != UNMAPPED:
+                self.flash.invalidate(ppn_old)
+                self._record_mapping(lpn, UNMAPPED, result)
+        self._run_gc(result)
+
+    # ------------------------------------------------------------------
+    # Translation-page flash traffic (helpers for subclasses)
+    # ------------------------------------------------------------------
+    def read_translation_page(self, vtpn: int, cause: str,
+                              result: AccessResult) -> None:
+        """Read translation page ``vtpn``, charging to ``cause``."""
+        if cause not in _READ_CAUSES:
+            raise FTLError(f"unknown translation-read cause {cause!r}")
+        ptpn = self.gtd.lookup(vtpn)
+        self.flash.read(ptpn, PageKind.TRANSLATION)
+        result.translation_reads += 1
+        if cause == "load":
+            self.metrics.trans_reads_load += 1
+        elif cause == "writeback":
+            self.metrics.trans_reads_writeback += 1
+        elif cause == "gc":
+            self.metrics.trans_reads_gc += 1
+            result.gc_translation_reads += 1
+        else:
+            self.metrics.trans_reads_migration += 1
+            result.gc_translation_reads += 1
+
+    def write_translation_page(self, vtpn: int, updates: Dict[int, int],
+                               cause: str, result: AccessResult) -> None:
+        """Rewrite translation page ``vtpn`` applying ``updates``.
+
+        ``updates`` maps LPN -> new PPN for the entries changing in this
+        update; unchanged entries are carried over implicitly (the
+        flash_table already holds them).
+        """
+        if cause not in _WRITE_CAUSES:
+            raise FTLError(f"unknown translation-write cause {cause!r}")
+        for lpn, ppn in updates.items():
+            if self.geometry.vtpn_of(lpn) != vtpn:
+                raise FTLError(
+                    f"update for LPN {lpn} does not belong to VTPN {vtpn}")
+            self.flash_table[lpn] = ppn
+        old_ptpn = self.gtd.get(vtpn)
+        ptpn = self.flash.program(PageKind.TRANSLATION, vtpn)
+        if old_ptpn != UNMAPPED:
+            self.flash.invalidate(old_ptpn)
+        self.gtd.update(vtpn, ptpn)
+        result.translation_writes += 1
+        if cause == "writeback":
+            self.metrics.trans_writes_writeback += 1
+        elif cause == "gc_update":
+            self.metrics.trans_writes_gc_update += 1
+            result.gc_translation_writes += 1
+        else:
+            self.metrics.trans_writes_migration += 1
+            result.gc_translation_writes += 1
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def background_collect(self, max_blocks: int = 1) -> AccessResult:
+        """Collect up to ``max_blocks`` victims during host idle time.
+
+        Extension beyond the paper: real controllers use idle periods to
+        pre-free blocks so foreground writes do not stall on GC.  Only
+        collects when the free pool is within 2x of the trigger level —
+        collecting earlier would shrink the effective over-provisioning
+        and raise write amplification for no latency benefit.  Returns
+        the flash costs so the device model can charge them to idle
+        time.
+        """
+        result = AccessResult()
+        if max_blocks < 1:
+            return result
+        worthwhile = (self.flash.free_block_count
+                      <= 2 * self.ssd.gc_trigger_blocks)
+        if not worthwhile:
+            return result
+        for _ in range(max_blocks):
+            victim = self._select_victim()
+            if victim is None:
+                break
+            self._collect(victim, result)
+            if not self.flash.gc_needed:
+                break
+        return result
+
+    def _run_gc(self, result: AccessResult) -> None:
+        """Collect victim blocks while the free pool is low.
+
+        At most ``gc_max_collections_per_access`` victims are collected
+        per invocation so GC cost is amortised across requests (as in
+        FlashSim) rather than served in multi-millisecond bursts; the
+        limit is ignored while the pool sits at the emergency reserve.
+        """
+        limit = self.ssd.gc_max_collections_per_access
+        collected = 0
+        guard = 0
+        while self.flash.gc_needed:
+            if collected >= limit and not self.flash.exhausted:
+                break
+            victim = self._select_victim()
+            if victim is None:
+                if self.flash.exhausted:
+                    raise OutOfSpaceError(
+                        "free pool exhausted and no collectible blocks")
+                break
+            self._collect(victim, result)
+            collected += 1
+            guard += 1
+            if guard > len(self.flash.blocks):
+                raise FTLError("GC did not converge")  # pragma: no cover
+        if self.wear_leveler is not None:
+            device_max = max(b.erase_count for b in self.flash.blocks)
+            nominee = self.wear_leveler.nominate(self._gc_candidates(),
+                                                 max_erase=device_max)
+            if nominee is not None:
+                self._collect(nominee, result)
+
+    def _gc_candidates(self) -> List[Block]:
+        active = {
+            block for block in (
+                self.flash.active_block(BlockKind.DATA),
+                self.flash.active_block(BlockKind.TRANSLATION),
+            ) if block is not None
+        }
+        return [block for block in self.flash.blocks
+                if not block.is_free and block not in active]
+
+    def _select_victim(self) -> Optional[Block]:
+        return self.victim_policy.select(self._gc_candidates(),
+                                         now_seq=self.flash.op_seq)
+
+    def _collect(self, victim: Block, result: AccessResult) -> None:
+        if victim.kind is BlockKind.DATA:
+            self._collect_data_block(victim, result)
+        elif victim.kind is BlockKind.TRANSLATION:
+            self._collect_translation_block(victim, result)
+        else:  # pragma: no cover - selection excludes free blocks
+            raise FTLError(f"cannot collect free block {victim.block_id}")
+        self.flash.erase(victim.block_id)
+        result.erases += 1
+
+    def _collect_data_block(self, victim: Block,
+                            result: AccessResult) -> None:
+        self.metrics.gc_data_collections += 1
+        self.metrics.erases_data += 1
+        offsets = victim.valid_offsets()
+        self.metrics.gc_data_valid_migrated += len(offsets)
+        moved_by_vtpn: Dict[int, List[Tuple[int, int]]] = {}
+        for offset in offsets:
+            old_ppn = self.flash.ppn_of(victim.block_id, offset)
+            lpn = self.flash.read(old_ppn, PageKind.DATA)
+            result.data_reads += 1
+            result.gc_data_reads += 1
+            self.metrics.data_reads_migration += 1
+            new_ppn = self.flash.program(PageKind.DATA, lpn)
+            result.data_writes += 1
+            result.gc_data_writes += 1
+            self.metrics.data_writes_migration += 1
+            self.flash.invalidate(old_ppn)
+            vtpn = self.geometry.vtpn_of(lpn)
+            moved_by_vtpn.setdefault(vtpn, []).append((lpn, new_ppn))
+        self._gc_update_mappings(moved_by_vtpn, result)
+
+    def _gc_update_mappings(
+            self, moved_by_vtpn: Dict[int, List[Tuple[int, int]]],
+            result: AccessResult) -> None:
+        """Update mappings of migrated data pages (DFTL-style batching).
+
+        Per-vtpn: cached entries are updated in place (GC hits); the
+        remainder force one read-modify-write of the translation page
+        (GC misses, batched).  Subclasses may piggyback extra cached
+        dirty entries onto that forced write via :meth:`_gc_flush_extras`.
+        """
+        for vtpn in sorted(moved_by_vtpn):
+            missed: Dict[int, int] = {}
+            for lpn, new_ppn in moved_by_vtpn[vtpn]:
+                self.metrics.gc_update_lookups += 1
+                if self._cache_update_if_present(lpn, new_ppn):
+                    self.metrics.gc_update_hits += 1
+                else:
+                    missed[lpn] = new_ppn
+            if missed:
+                extras = self._gc_flush_extras(vtpn)
+                missed.update(extras)
+                self.read_translation_page(vtpn, "gc", result)
+                self.write_translation_page(vtpn, missed, "gc_update",
+                                            result)
+
+    def _collect_translation_block(self, victim: Block,
+                                   result: AccessResult) -> None:
+        self.metrics.gc_translation_collections += 1
+        self.metrics.erases_translation += 1
+        offsets = victim.valid_offsets()
+        self.metrics.gc_trans_valid_migrated += len(offsets)
+        for offset in offsets:
+            old_ptpn = self.flash.ppn_of(victim.block_id, offset)
+            vtpn = self.flash.read(old_ptpn, PageKind.TRANSLATION)
+            result.translation_reads += 1
+            result.gc_translation_reads += 1
+            self.metrics.trans_reads_migration += 1
+            new_ptpn = self.flash.program(PageKind.TRANSLATION, vtpn)
+            result.translation_writes += 1
+            result.gc_translation_writes += 1
+            self.metrics.trans_writes_migration += 1
+            self.flash.invalidate(old_ptpn)
+            self.gtd.update(vtpn, new_ptpn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(pages={self.ssd.logical_pages})"

@@ -1,0 +1,124 @@
+"""A block-level FTL: the coarse-grained comparator from §2.1.
+
+Maps logical *blocks* to physical blocks with fixed page offsets, so the
+whole mapping table is tiny (4B per block — this table's size is exactly
+what the paper's §5.1 rule grants the page-level FTLs as cache budget).
+The price is rigid placement: overwriting any page forces a copy-merge of
+the whole block.  Runnable as an extension to demonstrate *why* page-level
+mapping wins; not part of the paper's measured figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config import SimulationConfig
+from ..errors import ConfigError
+from ..gc import VictimPolicy, WearLeveler
+from ..types import AccessResult, Op, PageKind, Request, UNMAPPED
+from .base import BaseFTL
+
+
+class BlockFTL(BaseFTL):
+    """Block-granularity mapping with copy-merge updates."""
+
+    name = "block"
+    uses_translation_pages = False
+
+    def __init__(self, config: SimulationConfig,
+                 victim_policy: Optional[VictimPolicy] = None,
+                 wear_leveler: Optional[WearLeveler] = None,
+                 prefill: bool = True) -> None:
+        if config.ssd.logical_pages % config.ssd.pages_per_block:
+            raise ConfigError(
+                "BlockFTL needs logical_pages to be a multiple of "
+                "pages_per_block")
+        #: logical block -> physical block id
+        self.block_map: List[int] = []
+        super().__init__(config, victim_policy=victim_policy,
+                         wear_leveler=wear_leveler, prefill=prefill)
+
+    def prefill(self) -> None:
+        """Sequential prefill lands each logical block in one physical
+        block, establishing the rigid block mapping."""
+        ppb = self.ssd.pages_per_block
+        self.block_map = [UNMAPPED] * (self.ssd.logical_pages // ppb)
+        for lpn in range(self.ssd.logical_pages):
+            ppn = self.flash.program(PageKind.DATA, lpn)
+            self.flash_table[lpn] = ppn
+            if lpn % ppb == 0:
+                self.block_map[lpn // ppb] = self.flash.block_id_of(ppn)
+        self.flash.stats.reset()
+        from ..metrics import FTLMetrics
+        self.metrics = FTLMetrics()
+
+    # ------------------------------------------------------------------
+    # Data path (overridden wholesale: no out-of-place page writes)
+    # ------------------------------------------------------------------
+    def _serve_page(self, lpn: int, op: Op, request: Optional[Request],
+                    result: AccessResult) -> None:
+        if op is Op.TRIM:
+            from ..errors import FTLError
+            raise FTLError(
+                "BlockFTL does not support TRIM (rigid block mapping "
+                "has no per-page unmap)")
+        self.metrics.lookups += 1
+        self.metrics.hits += 1  # the block table is fully RAM-resident
+        ppb = self.ssd.pages_per_block
+        lbn, offset = divmod(lpn, ppb)
+        old_block = self.block_map[lbn]
+        if op is Op.READ:
+            self.metrics.user_page_reads += 1
+            self.flash.read(self.flash.ppn_of(old_block, offset),
+                            PageKind.DATA)
+            result.data_reads += 1
+            return
+        self.metrics.user_page_writes += 1
+        # Copy-merge: rewrite the whole block with the new page in place.
+        base_lpn = lbn * ppb
+        for i in range(ppb):
+            src_ppn = self.flash.ppn_of(old_block, i)
+            if i != offset:
+                self.flash.read(src_ppn, PageKind.DATA)
+                result.data_reads += 1
+                result.gc_data_reads += 1
+                self.metrics.data_reads_migration += 1
+            new_ppn = self.flash.program(PageKind.DATA, base_lpn + i)
+            result.data_writes += 1
+            if i != offset:
+                result.gc_data_writes += 1
+                self.metrics.data_writes_migration += 1
+            self.flash.invalidate(src_ppn)
+            self.flash_table[base_lpn + i] = new_ppn
+        self.block_map[lbn] = self.flash.block_id_of(
+            self.flash_table[base_lpn])
+        # the old block is now fully invalid: reclaim it immediately
+        self.flash.erase(old_block)
+        result.erases += 1
+        self.metrics.erases_data += 1
+        self.metrics.gc_data_collections += 1
+
+    # ------------------------------------------------------------------
+    # Hooks unused by this FTL (no demand cache, no translation pages)
+    # ------------------------------------------------------------------
+    def _translate(self, lpn: int, op: Op, request: Optional[Request],
+                   result: AccessResult) -> int:  # pragma: no cover
+        raise NotImplementedError("BlockFTL overrides _serve_page")
+
+    def _record_mapping(self, lpn: int, ppn: int,
+                        result: AccessResult) -> None:  # pragma: no cover
+        raise NotImplementedError("BlockFTL overrides _serve_page")
+
+    def _cache_update_if_present(self, lpn: int, ppn: int) -> bool:
+        self.flash_table[lpn] = ppn
+        return True
+
+    def cache_snapshot(self) -> List[Tuple[int, int]]:
+        """(entries, dirty) per cached translation page."""
+        return []
+
+    def _dirty_entries_by_page(self) -> Dict[int, Dict[int, int]]:
+        return {}
+
+    def _mark_all_clean(self) -> None:
+        pass

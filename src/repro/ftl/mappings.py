@@ -1,0 +1,74 @@
+"""Translation-page geometry: how LPNs pack into translation pages.
+
+Mapping entries are stored in ascending LPN order inside translation
+pages (§4.1), so an entry's location is pure arithmetic: the VTPN is the
+quotient of the LPN by the entries-per-page, and the in-page offset the
+remainder.  Centralising this arithmetic keeps every FTL agreeing on it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class TranslationGeometry:
+    """Geometry shared by the mapping table and every cache over it."""
+
+    logical_pages: int
+    entries_per_page: int
+
+    def __post_init__(self) -> None:
+        if self.logical_pages <= 0:
+            raise ValueError("logical_pages must be positive")
+        if self.entries_per_page <= 0:
+            raise ValueError("entries_per_page must be positive")
+
+    @property
+    def translation_pages(self) -> int:
+        """Translation pages covering the logical space."""
+        return max(1, math.ceil(self.logical_pages / self.entries_per_page))
+
+    def vtpn_of(self, lpn: int) -> int:
+        """Translation page holding the entry for ``lpn``."""
+        self._check(lpn)
+        return lpn // self.entries_per_page
+
+    def offset_of(self, lpn: int) -> int:
+        """In-page slot of the entry for ``lpn``."""
+        self._check(lpn)
+        return lpn % self.entries_per_page
+
+    def locate(self, lpn: int) -> Tuple[int, int]:
+        """(vtpn, offset) of the entry for ``lpn``."""
+        self._check(lpn)
+        return divmod(lpn, self.entries_per_page)
+
+    def first_lpn(self, vtpn: int) -> int:
+        """Smallest LPN stored in translation page ``vtpn``."""
+        return vtpn * self.entries_per_page
+
+    def last_lpn(self, vtpn: int) -> int:
+        """Largest LPN stored in translation page ``vtpn``."""
+        return min(self.logical_pages,
+                   (vtpn + 1) * self.entries_per_page) - 1
+
+    def lpns_of(self, vtpn: int) -> Iterator[int]:
+        """All LPNs whose entries live in translation page ``vtpn``."""
+        return iter(range(self.first_lpn(vtpn), self.last_lpn(vtpn) + 1))
+
+    def entries_in(self, vtpn: int) -> int:
+        """Number of live entries in ``vtpn`` (last page may be short)."""
+        return self.last_lpn(vtpn) - self.first_lpn(vtpn) + 1
+
+    def same_page(self, lpn_a: int, lpn_b: int) -> bool:
+        """True if both LPNs share a translation page."""
+        return self.vtpn_of(lpn_a) == self.vtpn_of(lpn_b)
+
+    def _check(self, lpn: int) -> None:
+        if not 0 <= lpn < self.logical_pages:
+            raise ValueError(
+                f"LPN {lpn} outside logical space "
+                f"[0, {self.logical_pages})")

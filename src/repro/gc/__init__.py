@@ -1,0 +1,15 @@
+"""Garbage-collection victim policies and wear leveling.
+
+The paper holds the GC policy fixed (greedy, per §3.1 its effect is "beyond
+the scope") while varying the FTL's caching; we therefore default to greedy
+but also ship cost-benefit selection and an erase-count wear leveler as
+extensions so ablations against the model's Vd/Vt assumptions are possible.
+"""
+
+from .base import VictimPolicy
+from .cost_benefit import CostBenefitPolicy
+from .greedy import GreedyPolicy
+from .wear_leveling import WearLeveler
+
+__all__ = ["VictimPolicy", "GreedyPolicy", "CostBenefitPolicy",
+           "WearLeveler"]

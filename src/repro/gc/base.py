@@ -1,0 +1,33 @@
+"""Victim-selection interface for garbage collection.
+
+A policy looks at the candidate blocks of one region (data or translation)
+and picks the block to reclaim.  Policies never see the mapping layer; the
+FTL performs the migrations and mapping updates for whatever block the
+policy chooses.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Optional
+
+from ..flash.block import Block
+
+
+class VictimPolicy(abc.ABC):
+    """Chooses the next block to garbage-collect."""
+
+    @abc.abstractmethod
+    def select(self, candidates: Iterable[Block],
+               now_seq: int = 0) -> Optional[Block]:
+        """Return the victim block, or None if nothing is collectible.
+
+        ``candidates`` are blocks of the region being collected; the
+        caller excludes active write frontiers.  ``now_seq`` is the flash
+        array's current operation sequence, for age-aware policies.
+        """
+
+    @staticmethod
+    def collectible(block: Block) -> bool:
+        """A block is collectible if erasing it gains at least one page."""
+        return block.invalid_count > 0

@@ -1,0 +1,40 @@
+"""Cost-benefit victim selection (Kawaguchi et al. style).
+
+Scores each candidate by ``benefit/cost = age * (1 - u) / (2 * u)`` where
+``u`` is the block's valid-page utilisation and ``age`` the time since the
+block last received a write, approximated here by the flash array's
+operation sequence.  Fully invalid blocks are free wins and always chosen
+first.
+
+Included as an extension: the paper fixes greedy GC, but cost-benefit lets
+users probe how the Vd/Vt terms of the analytical model react to hot/cold
+separation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..flash.block import Block
+from .base import VictimPolicy
+
+
+class CostBenefitPolicy(VictimPolicy):
+    """Pick the candidate with the highest age*(1-u)/(2u) score."""
+
+    def select(self, candidates: Iterable[Block],
+               now_seq: int = 0) -> Optional[Block]:
+        """Return the victim block, or None if none collectible."""
+        best: Optional[Block] = None
+        best_score = -1.0
+        for block in candidates:
+            if not self.collectible(block):
+                continue
+            utilisation = block.valid_count / block.pages_per_block
+            if utilisation == 0.0:
+                return block  # erase is pure gain; nothing beats it
+            age = max(1, now_seq - block.last_program_seq)
+            score = age * (1.0 - utilisation) / (2.0 * utilisation)
+            if score > best_score:
+                best, best_score = block, score
+        return best

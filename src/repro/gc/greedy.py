@@ -1,0 +1,31 @@
+"""Greedy victim selection: reclaim the block with the most invalid pages.
+
+This is the policy FlashSim's DFTL module uses and the one the paper's
+evaluation holds fixed across FTLs.  Ties break toward the lower erase
+count so wear is spread without a separate leveler.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..flash.block import Block
+from .base import VictimPolicy
+
+
+class GreedyPolicy(VictimPolicy):
+    """Pick the candidate with the most invalid pages."""
+
+    def select(self, candidates: Iterable[Block],
+               now_seq: int = 0) -> Optional[Block]:
+        """Return the victim block, or None if none collectible."""
+        best: Optional[Block] = None
+        for block in candidates:
+            if not self.collectible(block):
+                continue
+            if (best is None
+                    or block.invalid_count > best.invalid_count
+                    or (block.invalid_count == best.invalid_count
+                        and block.erase_count < best.erase_count)):
+                best = block
+        return best

@@ -1,0 +1,56 @@
+"""Threshold-based static wear leveling.
+
+When the spread between the most- and least-erased blocks exceeds a
+threshold, the leveler nominates the coldest collectible block for a forced
+collection, cycling its long-lived content forward so the block re-enters
+the hot rotation.  This is the classic erase-count-balancing scheme
+(cf. Jimenez et al., FAST'14 background in the paper's §2.3).
+
+The leveler only *nominates*; the owning FTL performs the migration using
+its normal GC machinery, so mapping consistency is preserved for free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..flash.block import Block
+
+
+class WearLeveler:
+    """Nominates cold blocks for forced collection when wear skews."""
+
+    def __init__(self, threshold: int = 32) -> None:
+        if threshold < 1:
+            raise ValueError("wear threshold must be >= 1")
+        self.threshold = threshold
+        self.forced_collections = 0
+
+    def nominate(self, candidates: Iterable[Block],
+                 max_erase: Optional[int] = None) -> Optional[Block]:
+        """Return a block to force-collect, or None if wear is balanced.
+
+        Candidates should exclude active frontiers.  The nominated block
+        is the least-erased one whose erase count trails the maximum by
+        at least the threshold; blocks with no reclaimable or movable
+        pages are skipped.  ``max_erase`` should be the device-wide
+        maximum (the most-worn blocks are usually in the free pool and
+        thus absent from ``candidates``); it defaults to the candidates'
+        own maximum.
+        """
+        blocks = [b for b in candidates if not b.is_free]
+        if not blocks:
+            return None
+        if max_erase is None:
+            max_erase = max(b.erase_count for b in blocks)
+        coldest: Optional[Block] = None
+        for block in blocks:
+            if max_erase - block.erase_count < self.threshold:
+                continue
+            if block.valid_count == 0 and block.invalid_count == 0:
+                continue  # still blank; erasing it levels nothing
+            if coldest is None or block.erase_count < coldest.erase_count:
+                coldest = block
+        if coldest is not None:
+            self.forced_collections += 1
+        return coldest

@@ -1,0 +1,101 @@
+"""Endurance accounting: turn erase counts into lifetime estimates.
+
+The paper argues (§1, §5.2-4) that extra translation writes shorten an
+SSD's lifetime because every block sustains only a limited number of
+erasures (~3,000 for the MLC flash of its era).  This module converts a
+simulation run's erase behaviour into the standard endurance metrics:
+
+* erases per byte of user writes,
+* projected total user writes until the erase budget is exhausted
+  (assuming perfect wear leveling, i.e. an upper bound),
+* the wear-imbalance penalty: how much sooner the device dies if the
+  observed erase skew persists (the most-worn block hits the limit
+  first).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ConfigError
+
+#: typical MLC program/erase cycle budget of the paper's era
+DEFAULT_PE_CYCLES = 3_000
+
+
+@dataclass(frozen=True)
+class LifetimeEstimate:
+    """Endurance projection from one simulation run."""
+
+    #: bytes of host data written during the measured window
+    user_bytes_written: int
+    #: block erases during the window
+    erases: int
+    #: total erase budget of the device (blocks * P/E cycles)
+    erase_budget: int
+    #: max observed per-block erase count / mean (1.0 = perfectly level)
+    wear_imbalance: float
+
+    @property
+    def erases_per_gb(self) -> float:
+        """Block erases consumed per GiB of user writes."""
+        if not self.user_bytes_written:
+            return 0.0
+        return self.erases / (self.user_bytes_written / 2**30)
+
+    @property
+    def projected_user_bytes(self) -> float:
+        """User bytes writable before the erase budget runs out,
+        assuming perfect leveling (upper bound)."""
+        if not self.erases:
+            return float("inf")
+        return self.user_bytes_written * (self.erase_budget / self.erases)
+
+    @property
+    def projected_user_bytes_skewed(self) -> float:
+        """Projection if the observed wear imbalance persists: the
+        most-worn block exhausts its cycles first."""
+        if self.wear_imbalance <= 0:
+            return self.projected_user_bytes
+        return self.projected_user_bytes / self.wear_imbalance
+
+    def relative_lifetime(self, other: "LifetimeEstimate") -> float:
+        """This run's projected lifetime as a multiple of ``other``'s.
+
+        > 1 means this FTL/configuration lets the device absorb more
+        user writes before wearing out.
+        """
+        theirs = other.projected_user_bytes
+        ours = self.projected_user_bytes
+        if theirs == float("inf"):
+            return 1.0 if ours == float("inf") else 0.0
+        if theirs == 0:
+            raise ConfigError("cannot compare against a zero lifetime")
+        return ours / theirs
+
+
+def estimate_lifetime(run, config, pe_cycles: int = DEFAULT_PE_CYCLES,
+                      flash=None) -> LifetimeEstimate:
+    """Build a :class:`LifetimeEstimate` from a finished run.
+
+    ``run`` is a :class:`~repro.ssd.device.RunResult`; ``config`` the
+    :class:`~repro.config.SSDConfig` it ran with.  Pass the FTL's
+    ``flash`` to include the observed wear imbalance; otherwise perfect
+    leveling is assumed.
+    """
+    if pe_cycles <= 0:
+        raise ConfigError("pe_cycles must be positive")
+    metrics = run.metrics
+    user_bytes = metrics.user_page_writes * config.page_size
+    imbalance = 1.0
+    if flash is not None:
+        counts = [block.erase_count for block in flash.blocks]
+        mean = sum(counts) / len(counts) if counts else 0.0
+        if mean > 0:
+            imbalance = max(counts) / mean
+    return LifetimeEstimate(
+        user_bytes_written=user_bytes,
+        erases=metrics.total_erases,
+        erase_budget=config.physical_blocks * pe_cycles,
+        wear_imbalance=imbalance,
+    )

@@ -1,0 +1,16 @@
+"""Measurement layer: FTL counters, cache sampling, response-time stats.
+
+Everything §5 of the paper reports is derived from the counters here:
+cache hit ratio (Hr), probability of replacing a dirty entry (Prd),
+translation-page reads/writes split by cause, GC hit ratio (Hgcr),
+write amplification, erase counts and system response time.
+"""
+
+from .counters import FTLMetrics
+from .response import ResponseStats
+from .sampling import CacheSample, CacheSampler
+from .report import format_table
+from .sparkline import labelled_sparkline, sparkline
+
+__all__ = ["FTLMetrics", "ResponseStats", "CacheSample", "CacheSampler",
+           "format_table", "sparkline", "labelled_sparkline"]

@@ -1,0 +1,163 @@
+"""FTL-level counters and the derived quantities of the paper's §3/§5.
+
+The naming follows Table 1 of the paper where a symbol exists:
+
+* ``Hr``   — cache hit ratio of address translation
+* ``Hgcr`` — hit ratio of mapping updates during GC
+* ``Prd``  — probability that a replaced mapping entry was dirty
+* ``Ntw``  — translation-page writes during address translation
+* ``Ndt``  — translation-page writes for GC mapping updates
+* ``Nmt``  — translation-page writes migrating valid translation pages
+* ``Nmd``  — data-page writes migrating valid data pages
+* ``Ngcd``/``Ngct`` — GC operations on data/translation blocks
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FTLMetrics:
+    """Counter block attached to every FTL instance."""
+
+    # -- user traffic -------------------------------------------------
+    user_page_reads: int = 0
+    user_page_writes: int = 0
+    #: TRIM page operations (extension; not part of the paper's model)
+    user_page_trims: int = 0
+    #: reads of trimmed/never-written pages, served as zeroes
+    unmapped_reads: int = 0
+
+    # -- address-translation cache behaviour ---------------------------
+    lookups: int = 0
+    hits: int = 0
+    #: entries admitted by prefetching beyond the demanded entry
+    prefetched_entries: int = 0
+    #: prefetched entries that later served a hit before eviction
+    prefetch_hits: int = 0
+
+    # -- replacements ---------------------------------------------------
+    replacements: int = 0
+    dirty_replacements: int = 0
+    #: dirty entries turned clean via batch updates (TPFTL 'b', DFTL GC)
+    batch_cleaned_entries: int = 0
+
+    # -- GC-time mapping updates ----------------------------------------
+    gc_update_lookups: int = 0
+    gc_update_hits: int = 0
+
+    # -- translation-page flash traffic, by cause -----------------------
+    trans_reads_load: int = 0       # cache-miss fills (and prefetch reads)
+    trans_reads_writeback: int = 0  # read-modify-write before a writeback
+    trans_reads_gc: int = 0         # GC-miss mapping updates
+    trans_reads_migration: int = 0  # moving valid translation pages
+    trans_writes_writeback: int = 0   # Ntw
+    trans_writes_gc_update: int = 0   # Ndt
+    trans_writes_migration: int = 0   # Nmt
+
+    # -- data-page flash traffic beyond user writes ---------------------
+    data_reads_migration: int = 0
+    data_writes_migration: int = 0    # Nmd
+
+    # -- GC structure ----------------------------------------------------
+    gc_data_collections: int = 0      # Ngcd
+    gc_translation_collections: int = 0  # Ngct
+    gc_data_valid_migrated: int = 0   # sum of valid pages in data victims
+    gc_trans_valid_migrated: int = 0  # sum of valid pages in trans victims
+    erases_data: int = 0
+    erases_translation: int = 0
+
+    # ------------------------------------------------------------------
+    # Derived quantities (Table 1 symbols)
+    # ------------------------------------------------------------------
+    @property
+    def hit_ratio(self) -> float:
+        """Hr — fraction of address translations served from the cache."""
+        return self.hits / self.lookups if self.lookups else 1.0
+
+    @property
+    def gc_hit_ratio(self) -> float:
+        """Hgcr — fraction of GC mapping updates served from the cache."""
+        if not self.gc_update_lookups:
+            return 1.0
+        return self.gc_update_hits / self.gc_update_lookups
+
+    @property
+    def p_replace_dirty(self) -> float:
+        """Prd — dirty replacements over all replacements."""
+        if not self.replacements:
+            return 0.0
+        return self.dirty_replacements / self.replacements
+
+    @property
+    def translation_page_reads(self) -> int:
+        """All translation-page reads (address translation + GC)."""
+        return (self.trans_reads_load + self.trans_reads_writeback
+                + self.trans_reads_gc + self.trans_reads_migration)
+
+    @property
+    def translation_page_writes(self) -> int:
+        """All translation-page writes: Ntw + Ndt + Nmt."""
+        return (self.trans_writes_writeback + self.trans_writes_gc_update
+                + self.trans_writes_migration)
+
+    @property
+    def extra_writes(self) -> int:
+        """Writes beyond user page writes: Ntw + Ndt + Nmt + Nmd."""
+        return self.translation_page_writes + self.data_writes_migration
+
+    @property
+    def write_amplification(self) -> float:
+        """A — Eq. 12: (user writes + extra writes) / user writes."""
+        if not self.user_page_writes:
+            return 1.0
+        return ((self.user_page_writes + self.extra_writes)
+                / self.user_page_writes)
+
+    @property
+    def total_erases(self) -> int:
+        """All block erases, across kinds."""
+        return self.erases_data + self.erases_translation
+
+    @property
+    def mean_valid_in_data_victims(self) -> float:
+        """Vd — mean valid pages per collected data block."""
+        if not self.gc_data_collections:
+            return 0.0
+        return self.gc_data_valid_migrated / self.gc_data_collections
+
+    @property
+    def mean_valid_in_trans_victims(self) -> float:
+        """Vt — mean valid pages per collected translation block."""
+        if not self.gc_translation_collections:
+            return 0.0
+        return self.gc_trans_valid_migrated / self.gc_translation_collections
+
+    @property
+    def user_page_accesses(self) -> int:
+        """Npa — total user page accesses."""
+        return self.user_page_reads + self.user_page_writes
+
+    @property
+    def write_ratio(self) -> float:
+        """Rw — fraction of user page accesses that are writes."""
+        if not self.user_page_accesses:
+            return 0.0
+        return self.user_page_writes / self.user_page_accesses
+
+    def summary(self) -> dict:
+        """Flat dict of the headline numbers, for reports and tests."""
+        return {
+            "user_page_reads": self.user_page_reads,
+            "user_page_writes": self.user_page_writes,
+            "hit_ratio": self.hit_ratio,
+            "gc_hit_ratio": self.gc_hit_ratio,
+            "p_replace_dirty": self.p_replace_dirty,
+            "translation_page_reads": self.translation_page_reads,
+            "translation_page_writes": self.translation_page_writes,
+            "write_amplification": self.write_amplification,
+            "erases": self.total_erases,
+            "gc_data_collections": self.gc_data_collections,
+            "gc_translation_collections": self.gc_translation_collections,
+        }

@@ -1,0 +1,57 @@
+"""Plain-text table formatting for experiment output.
+
+The experiment runners print the same rows/series the paper's figures
+plot; this module renders them as aligned monospace tables so the bench
+output is directly comparable with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _render(cell: Cell, precision: int) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Cell]],
+                 precision: int = 4, title: str = "") -> str:
+    """Render an aligned text table.
+
+    Floats are fixed to ``precision`` digits; None renders as ``-``.
+    """
+    body: List[List[str]] = [
+        [_render(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in body:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i])
+                         for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in body)
+    return "\n".join(lines)
+
+
+def format_percent(value: float, precision: int = 1) -> str:
+    """Render a ratio as a percentage string (0.235 -> '23.5%')."""
+    return f"{value * 100.0:.{precision}f}%"

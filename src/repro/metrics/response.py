@@ -1,0 +1,67 @@
+"""Aggregated response-time statistics under the FIFO queueing model.
+
+Means what the paper calls "system response time" (Fig 6e): queueing delay
+plus service time per request.  Aggregation is streaming (Welford) so long
+traces do not hold per-request lists unless the caller asks for them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..types import RequestTiming
+
+
+@dataclass
+class ResponseStats:
+    """Streaming mean/variance/max of request response times (us)."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    max: float = 0.0
+    total_queue_delay: float = 0.0
+    keep_samples: bool = False
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, timing: RequestTiming) -> None:
+        """Fold one request timing into the running statistics."""
+        value = timing.response_time
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value > self.max:
+            self.max = value
+        self.total_queue_delay += timing.queue_delay
+        if self.keep_samples:
+            self.samples.append(value)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance of response times."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation of response times."""
+        return math.sqrt(self.variance)
+
+    @property
+    def mean_queue_delay(self) -> float:
+        """Mean time spent waiting for the device."""
+        return self.total_queue_delay / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Nearest-rank percentile; requires ``keep_samples=True``."""
+        if not self.samples:
+            return None
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]

@@ -1,0 +1,64 @@
+"""Unicode sparklines for terminal-rendered series figures.
+
+The paper's time-series figures (Fig 1a, Fig 2b) and sweep figures
+(Fig 8c/9) are line charts; in a terminal harness the closest faithful
+rendering is a sparkline — one block character per sample, scaled to
+the series' range.  Used by the experiment runners' notes so a bench
+run shows the *shape* of each series, not just its endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+#: eight block heights, lowest to highest
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: Optional[int] = None,
+              lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """Render a numeric series as a one-line sparkline.
+
+    ``width`` (optional) downsamples the series to that many buckets by
+    averaging.  ``lo``/``hi`` pin the scale (default: the series' own
+    min/max); a flat series renders as mid-height blocks.
+    """
+    series = [float(v) for v in values]
+    if not series:
+        return ""
+    if width is not None and width > 0 and len(series) > width:
+        series = _downsample(series, width)
+    low = min(series) if lo is None else lo
+    high = max(series) if hi is None else hi
+    span = high - low
+    if span <= 0:
+        return _BLOCKS[3] * len(series)
+    chars = []
+    top = len(_BLOCKS) - 1
+    for value in series:
+        position = (value - low) / span
+        chars.append(_BLOCKS[max(0, min(top, round(position * top)))])
+    return "".join(chars)
+
+
+def _downsample(series: List[float], width: int) -> List[float]:
+    """Average the series into ``width`` buckets."""
+    buckets: List[float] = []
+    n = len(series)
+    for index in range(width):
+        start = index * n // width
+        end = max(start + 1, (index + 1) * n // width)
+        chunk = series[start:end]
+        buckets.append(sum(chunk) / len(chunk))
+    return buckets
+
+
+def labelled_sparkline(label: str, values: Sequence[float],
+                       width: int = 48, unit: str = "") -> str:
+    """A sparkline with its range annotated, e.g. for experiment notes."""
+    if not values:
+        return f"{label}: (no data)"
+    line = sparkline(values, width=width)
+    lo, hi = min(values), max(values)
+    return f"{label}: {line} [{lo:.4g}..{hi:.4g}{unit}]"

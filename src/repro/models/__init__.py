@@ -1,0 +1,20 @@
+"""The paper's analytical models of address-translation overhead (§3.1).
+
+Closed-form implementations of the performance model (Eq. 1, 4, 6, 10,
+11) and the write-amplification model (Eq. 12, 13), plus a helper that
+extracts the model's input parameters from a simulation run so model and
+measurement can be cross-validated (the repository's tests do exactly
+that).
+"""
+
+from .params import ModelParams, params_from_run
+from .performance import (avg_translation_time, gc_data_time_per_access,
+                          gc_translation_time_per_access)
+from .write_amp import write_amplification, write_amplification_counts
+
+__all__ = [
+    "ModelParams", "params_from_run",
+    "avg_translation_time", "gc_data_time_per_access",
+    "gc_translation_time_per_access",
+    "write_amplification", "write_amplification_counts",
+]

@@ -1,0 +1,65 @@
+"""Input parameters of the §3.1 models (the symbols of Table 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import SSDConfig
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """The Table 1 symbols the two models take as inputs.
+
+    Time units are microseconds, matching :class:`~repro.config.SSDConfig`.
+    """
+
+    hr: float           # Hr   — address-translation hit ratio
+    prd: float          # Prd  — P(replaced entry is dirty)
+    rw: float           # Rw   — write ratio of user page accesses
+    hgcr: float         # Hgcr — GC mapping-update hit ratio
+    vd: float           # Vd   — mean valid pages in data victims
+    vt: float           # Vt   — mean valid pages in translation victims
+    np: int             # Np   — pages per block
+    tfr: float = 25.0   # Tfr  — page read time
+    tfw: float = 200.0  # Tfw  — page write time
+    tfe: float = 1500.0  # Tfe — block erase time
+
+    def __post_init__(self) -> None:
+        for label, value in (("hr", self.hr), ("prd", self.prd),
+                             ("rw", self.rw), ("hgcr", self.hgcr)):
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{label} must be in [0, 1], got {value}")
+        if self.np <= 0:
+            raise ConfigError("np must be positive")
+        if not 0.0 <= self.vd < self.np:
+            raise ConfigError("vd must be in [0, np)")
+        if not 0.0 <= self.vt < self.np:
+            raise ConfigError("vt must be in [0, np)")
+        if min(self.tfr, self.tfw, self.tfe) < 0:
+            raise ConfigError("latencies must be non-negative")
+
+
+def params_from_run(run, config: SSDConfig) -> ModelParams:
+    """Extract :class:`ModelParams` from a finished simulation run.
+
+    ``run`` is a :class:`~repro.ssd.device.RunResult`.  GC means (Vd/Vt)
+    default to 0 when no GC of that kind occurred, which zeroes the
+    corresponding model terms — consistent with the simulation.
+    """
+    metrics = run.metrics
+    return ModelParams(
+        hr=metrics.hit_ratio,
+        prd=metrics.p_replace_dirty,
+        rw=metrics.write_ratio,
+        hgcr=metrics.gc_hit_ratio,
+        vd=min(metrics.mean_valid_in_data_victims,
+               config.pages_per_block - 1e-9),
+        vt=min(metrics.mean_valid_in_trans_victims,
+               config.pages_per_block - 1e-9),
+        np=config.pages_per_block,
+        tfr=config.read_us,
+        tfw=config.write_us,
+        tfe=config.erase_us,
+    )

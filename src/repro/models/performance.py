@@ -1,0 +1,61 @@
+"""The performance model: Equations 1, 4, 6, 10 and 11 of the paper.
+
+All functions return microseconds (per LPN translation or per user page
+access).  They are direct transcriptions; the test suite checks both the
+algebra (Eq. 10/11 equal Eq. 4/6 after substituting Eq. 7/9) and the
+agreement with simulation-measured counts.
+"""
+
+from __future__ import annotations
+
+from .params import ModelParams
+
+
+def avg_translation_time(p: ModelParams) -> float:
+    """Eq. 1 — mean time of one LPN-to-PPN translation.
+
+    Tat = (1 - Hr) * [ Tfr + Prd * (Tfr + Tfw) ]
+    """
+    return (1.0 - p.hr) * (p.tfr + p.prd * (p.tfr + p.tfw))
+
+
+def gc_data_time_per_access(p: ModelParams) -> float:
+    """Eq. 10 — mean time collecting data blocks per user page access.
+
+    Tgcd = Rw * [ Vd*(2-Hgcr)*(Tfr+Tfw) + Tfe ] / (Np - Vd)
+    """
+    return (p.rw * (p.vd * (2.0 - p.hgcr) * (p.tfr + p.tfw) + p.tfe)
+            / (p.np - p.vd))
+
+
+def ngct_per_access(p: ModelParams) -> float:
+    """GC operations on translation blocks per user page access.
+
+    From Eq. 9 with Eq. 7/8 substituted: (Ntw + Ndt) / (Np - Vt) / Npa.
+    """
+    ntw_per_access = (1.0 - p.hr) * p.prd                       # Eq. 8
+    ndt_per_access = p.rw * p.vd * (1.0 - p.hgcr) / (p.np - p.vd)  # Eq. 3/7
+    return (ntw_per_access + ndt_per_access) / (p.np - p.vt)    # Eq. 9
+
+
+def gc_translation_time_per_access(p: ModelParams) -> float:
+    """Eq. 11 — mean time collecting translation blocks per access.
+
+    Tgct = [ (1-Hr)*Prd + Rw*Vd*(1-Hgcr)/(Np-Vd) ]
+           * [ Vt*(Tfr+Tfw) + Tfe ] / (Np - Vt)
+    """
+    front = ((1.0 - p.hr) * p.prd
+             + p.rw * p.vd * (1.0 - p.hgcr) / (p.np - p.vd))
+    return front * (p.vt * (p.tfr + p.tfw) + p.tfe) / (p.np - p.vt)
+
+
+def service_time_per_access(p: ModelParams) -> float:
+    """Full per-access service time: translation + user access + GC.
+
+    Combines Eq. 1, 10 and 11 with the mean user page access time
+    (Rw*Tfw + (1-Rw)*Tfr); useful for end-to-end model checks.
+    """
+    user = p.rw * p.tfw + (1.0 - p.rw) * p.tfr
+    return (avg_translation_time(p) + user
+            + gc_data_time_per_access(p)
+            + gc_translation_time_per_access(p))

@@ -1,0 +1,59 @@
+"""The write-amplification model: Equations 12 and 13 of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from .params import ModelParams
+
+
+def write_amplification(p: ModelParams) -> float:
+    """Eq. 13 — closed-form write amplification.
+
+    A = 1 + (1-Hr)*Prd * Np / ((Np-Vt)*Rw)
+          + [1 + (1-Hgcr)*Np/(Np-Vt)] * Vd / (Np-Vd)
+    """
+    if p.rw <= 0.0:
+        raise ConfigError(
+            "the WA model assumes a non-read-only workload (Rw > 0)")
+    return (1.0
+            + (1.0 - p.hr) * p.prd * p.np / ((p.np - p.vt) * p.rw)
+            + (1.0 + (1.0 - p.hgcr) * p.np / (p.np - p.vt))
+            * p.vd / (p.np - p.vd))
+
+
+@dataclass(frozen=True)
+class WriteCounts:
+    """The Eq. 12 numerator terms, per user page access."""
+
+    user_writes: float   # Rw
+    ntw: float           # translation writes at translation time (Eq. 8)
+    nmd: float           # migrated data pages (Eq. 2/7)
+    ndt: float           # GC mapping-update writes (Eq. 3/7)
+    nmt: float           # migrated translation pages (Eq. 5/9)
+
+    @property
+    def amplification(self) -> float:
+        """Eq. 12 assembled from the counts."""
+        extra = self.ntw + self.nmd + self.ndt + self.nmt
+        return (self.user_writes + extra) / self.user_writes
+
+
+def write_amplification_counts(p: ModelParams) -> WriteCounts:
+    """The per-access counts of Eq. 12, from Eqs. 2, 3, 5, 7, 8, 9.
+
+    ``WriteCounts.amplification`` equals :func:`write_amplification`
+    exactly (the tests assert the algebraic identity).
+    """
+    if p.rw <= 0.0:
+        raise ConfigError(
+            "the WA model assumes a non-read-only workload (Rw > 0)")
+    ngcd = p.rw / (p.np - p.vd)                  # Eq. 7, per access
+    nmd = ngcd * p.vd                            # Eq. 2
+    ndt = nmd * (1.0 - p.hgcr)                   # Eq. 3
+    ntw = (1.0 - p.hr) * p.prd                   # Eq. 8
+    ngct = (ntw + ndt) / (p.np - p.vt)           # Eq. 9
+    nmt = ngct * p.vt                            # Eq. 5
+    return WriteCounts(user_writes=p.rw, ntw=ntw, nmd=nmd, ndt=ndt,
+                       nmt=nmt)

@@ -1,0 +1,11 @@
+"""The device model: an FTL plus FIFO queueing and response times.
+
+``SSDevice`` is the paper-faithful single-channel model;
+``ChannelSSDevice`` (extension) overlaps operations across several flash
+channels.
+"""
+
+from .device import RunResult, SSDevice, simulate
+from .parallel import ChannelSSDevice
+
+__all__ = ["SSDevice", "ChannelSSDevice", "RunResult", "simulate"]

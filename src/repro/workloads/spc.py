@@ -1,0 +1,91 @@
+"""Parser for SPC-format traces (UMass Financial1/Financial2).
+
+Format: one request per line, comma-separated::
+
+    ASU,LBA,Size,Opcode,Timestamp[,...]
+
+``ASU`` is the application-specific unit (a volume id), ``LBA`` the
+logical block address in 512-byte sectors within that ASU, ``Size`` the
+request size in bytes, ``Opcode`` ``r``/``w`` (case-insensitive), and
+``Timestamp`` seconds from trace start.  Extra trailing fields are
+ignored, as are blank/comment lines.
+
+Requests are 4KB-page aligned, and LPNs can optionally be wrapped modulo
+a device size so any trace fits any simulated device (the paper instead
+sizes the SSD to the trace's address space; pass ``wrap_pages=None`` and
+size your device from ``Trace.max_lpn()`` for that behaviour).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from ..errors import WorkloadError
+from ..types import Op, Request, Trace
+
+SECTOR_BYTES = 512
+
+
+def parse_spc_lines(lines: Iterable[str], page_size: int = 4096,
+                    wrap_pages: Optional[int] = None,
+                    asu_filter: Optional[int] = None,
+                    name: str = "spc") -> Trace:
+    """Parse SPC trace lines into a :class:`~repro.types.Trace`."""
+    requests: List[Request] = []
+    max_page = 0
+    start_ts: Optional[float] = None
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(",")
+        if len(parts) < 5:
+            raise WorkloadError(
+                f"SPC line {lineno}: expected >=5 fields, got "
+                f"{len(parts)}: {line!r}")
+        try:
+            asu = int(parts[0])
+            lba = int(parts[1])
+            size = int(parts[2])
+            opcode = parts[3].strip().lower()
+            timestamp = float(parts[4])
+        except ValueError as exc:
+            raise WorkloadError(f"SPC line {lineno}: {exc}") from exc
+        if asu_filter is not None and asu != asu_filter:
+            continue
+        if opcode not in ("r", "w"):
+            raise WorkloadError(
+                f"SPC line {lineno}: unknown opcode {opcode!r}")
+        if size <= 0:
+            continue  # zero-length requests occur in the raw traces
+        op = Op.READ if opcode == "r" else Op.WRITE
+        byte_offset = lba * SECTOR_BYTES
+        first = byte_offset // page_size
+        last = (byte_offset + size - 1) // page_size
+        npages = last - first + 1
+        if wrap_pages is not None:
+            first %= wrap_pages
+            if first + npages > wrap_pages:
+                npages = wrap_pages - first
+        if start_ts is None:
+            start_ts = timestamp
+        arrival_us = (timestamp - start_ts) * 1e6
+        requests.append(Request(arrival=arrival_us, op=op, lpn=first,
+                                npages=npages))
+        max_page = max(max_page, first + npages)
+    requests.sort(key=lambda r: r.arrival)
+    logical = wrap_pages if wrap_pages is not None else max_page
+    return Trace(requests=requests, logical_pages=max(logical, 1),
+                 name=name)
+
+
+def load_spc_trace(path: Union[str, Path], page_size: int = 4096,
+                   wrap_pages: Optional[int] = None,
+                   asu_filter: Optional[int] = None) -> Trace:
+    """Load an SPC trace file (e.g. the UMass Financial traces)."""
+    path = Path(path)
+    with path.open("r", encoding="ascii", errors="replace") as handle:
+        return parse_spc_lines(handle, page_size=page_size,
+                               wrap_pages=wrap_pages,
+                               asu_filter=asu_filter, name=path.stem)

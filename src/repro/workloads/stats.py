@@ -1,0 +1,104 @@
+"""Workload characterisation: the statistics of the paper's Table 4.
+
+``characterize`` computes, for any trace, the write ratio, average
+request size, sequential-read/write fractions and footprint — letting
+tests assert that the synthetic presets actually match the paper's
+workload specification, and letting users sanity-check their own traces.
+
+A request counts as *sequential* when it starts exactly where the
+previous request of the same direction ended — the standard definition
+for trace-level sequentiality measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..types import Op, Trace
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Summary statistics of a trace (Table 4 columns and a few more)."""
+
+    name: str
+    requests: int
+    write_ratio: float
+    #: fraction of requests that are TRIMs (extension)
+    trim_ratio: float
+    avg_request_bytes: float
+    seq_read_fraction: float
+    seq_write_fraction: float
+    #: distinct logical pages touched
+    footprint_pages: int
+    logical_pages: int
+    #: total pages read / written
+    pages_read: int
+    pages_written: int
+
+    @property
+    def avg_request_kb(self) -> float:
+        """Mean request size in KiB."""
+        return self.avg_request_bytes / 1024.0
+
+    @property
+    def footprint_fraction(self) -> float:
+        """Touched pages over the address space."""
+        if not self.logical_pages:
+            return 0.0
+        return self.footprint_pages / self.logical_pages
+
+    def as_table4_row(self) -> Dict[str, str]:
+        """Render in the shape of the paper's Table 4."""
+        return {
+            "Workload": self.name,
+            "Write Ratio": f"{self.write_ratio * 100:.1f}%",
+            "Avg. Req. Size": f"{self.avg_request_kb:.1f}KB",
+            "Seq. Read": f"{self.seq_read_fraction * 100:.1f}%",
+            "Seq. Write": f"{self.seq_write_fraction * 100:.1f}%",
+            "Address Space": f"{self.logical_pages * 4 // 1024}MB",
+        }
+
+
+def characterize(trace: Trace, page_size: int = 4096) -> WorkloadStats:
+    """Compute :class:`WorkloadStats` for a trace in one pass."""
+    writes = 0
+    trims = 0
+    total_bytes = 0
+    seq: Dict[Op, int] = {op: 0 for op in Op}
+    counts: Dict[Op, int] = {op: 0 for op in Op}
+    last_end: Dict[Op, Optional[int]] = {op: None for op in Op}
+    touched = set()
+    pages_read = 0
+    pages_written = 0
+    for request in trace:
+        counts[request.op] += 1
+        if request.is_write:
+            writes += 1
+            pages_written += request.npages
+        elif request.op is Op.TRIM:
+            trims += 1
+        else:
+            pages_read += request.npages
+        total_bytes += request.npages * page_size
+        if last_end[request.op] == request.lpn:
+            seq[request.op] += 1
+        last_end[request.op] = request.end_lpn
+        touched.update(range(request.lpn, request.end_lpn))
+    n = len(trace)
+    return WorkloadStats(
+        name=trace.name,
+        requests=n,
+        write_ratio=writes / n if n else 0.0,
+        trim_ratio=trims / n if n else 0.0,
+        avg_request_bytes=total_bytes / n if n else 0.0,
+        seq_read_fraction=(seq[Op.READ] / counts[Op.READ]
+                           if counts[Op.READ] else 0.0),
+        seq_write_fraction=(seq[Op.WRITE] / counts[Op.WRITE]
+                            if counts[Op.WRITE] else 0.0),
+        footprint_pages=len(touched),
+        logical_pages=trace.logical_pages,
+        pages_read=pages_read,
+        pages_written=pages_written,
+    )

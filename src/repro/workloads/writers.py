@@ -1,0 +1,72 @@
+"""Trace writers: export canonical traces to the on-disk formats.
+
+The inverse of the parsers: any :class:`~repro.types.Trace` — synthetic
+or parsed — can be written out as an SPC file or an MSR Cambridge CSV,
+so workloads generated here can drive other simulators (FlashSim,
+SSDSim, ...) and round-trip through the parsers for validation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Union
+
+from ..errors import WorkloadError
+from ..types import Op, Trace
+from .msr import _TICKS_PER_US
+from .spc import SECTOR_BYTES
+
+
+def _reject_trims(trace: Trace, fmt: str) -> None:
+    if any(r.op is Op.TRIM for r in trace):
+        raise WorkloadError(
+            f"the {fmt} trace format has no TRIM opcode; filter trims "
+            "before exporting")
+
+
+def spc_lines(trace: Trace, page_size: int = 4096,
+              asu: int = 0) -> Iterator[str]:
+    """Render a trace as SPC lines (ASU,LBA,Size,Opcode,Timestamp)."""
+    _reject_trims(trace, "SPC")
+    sectors_per_page = page_size // SECTOR_BYTES
+    for request in trace:
+        lba = request.lpn * sectors_per_page
+        size = request.npages * page_size
+        opcode = "w" if request.is_write else "r"
+        timestamp = request.arrival / 1e6  # us -> seconds
+        yield f"{asu},{lba},{size},{opcode},{timestamp:.6f}"
+
+
+def msr_lines(trace: Trace, page_size: int = 4096,
+              hostname: str = "repro", disk: int = 0) -> Iterator[str]:
+    """Render a trace as MSR CSV lines.
+
+    Timestamps are Windows-filetime ticks (100ns); the response-time
+    column is written as 0 (it is an output of the original collection,
+    not an input to replay).
+    """
+    _reject_trims(trace, "MSR")
+    for request in trace:
+        ticks = int(round(request.arrival * _TICKS_PER_US))
+        kind = "Write" if request.is_write else "Read"
+        offset = request.lpn * page_size
+        size = request.npages * page_size
+        yield (f"{ticks},{hostname},{disk},{kind},{offset},{size},0")
+
+
+def write_spc_trace(trace: Trace, path: Union[str, Path],
+                    page_size: int = 4096, asu: int = 0) -> None:
+    """Write a trace to ``path`` in SPC format."""
+    Path(path).write_text(
+        "\n".join(spc_lines(trace, page_size=page_size, asu=asu)) + "\n",
+        encoding="ascii")
+
+
+def write_msr_trace(trace: Trace, path: Union[str, Path],
+                    page_size: int = 4096, hostname: str = "repro",
+                    disk: int = 0) -> None:
+    """Write a trace to ``path`` in MSR Cambridge CSV format."""
+    Path(path).write_text(
+        "\n".join(msr_lines(trace, page_size=page_size,
+                            hostname=hostname, disk=disk)) + "\n",
+        encoding="ascii")

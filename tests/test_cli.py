@@ -1,0 +1,77 @@
+"""The experiments CLI: argument parsing and scale resolution."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main, resolve_scale
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig6a"])
+        assert args.experiments == ["fig6a"]
+        assert args.scale == "small"
+        assert args.requests is None
+
+    def test_multiple_experiments(self):
+        args = build_parser().parse_args(["fig6a", "table2"])
+        assert args.experiments == ["fig6a", "table2"]
+
+    def test_scale_choices(self):
+        args = build_parser().parse_args(["all", "--scale", "full"])
+        assert args.scale == "full"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["all", "--scale", "huge"])
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["fig6a", "--requests", "100", "--warmup", "10"])
+        assert args.requests == 100
+        assert args.warmup == 10
+
+
+class TestScaleResolution:
+    def test_small_default(self):
+        args = build_parser().parse_args(["fig6a"])
+        scale = resolve_scale(args)
+        assert scale.name == "small"
+
+    def test_full(self):
+        args = build_parser().parse_args(["fig6a", "--scale", "full"])
+        assert resolve_scale(args).name == "full"
+
+    def test_request_override(self):
+        args = build_parser().parse_args(["fig6a", "--requests", "123"])
+        scale = resolve_scale(args)
+        assert scale.num_requests == 123
+
+    def test_warmup_override(self):
+        args = build_parser().parse_args(["fig6a", "--warmup", "7"])
+        assert resolve_scale(args).warmup_requests == 7
+
+
+class TestMain:
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["not-a-figure"]) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+
+    def test_runs_one_experiment(self, capsys):
+        code = main(["fig2a", "--requests", "500", "--warmup", "100"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[fig2a]" in out
+
+
+class TestDensityMap:
+    def test_density_map_geometry(self):
+        from repro.experiments.fig2 import MAP_COLS, MAP_ROWS, \
+            _density_map
+        from repro.workloads import financial1
+        trace = financial1(logical_pages=4096, num_requests=500)
+        lines = _density_map(trace)
+        assert len(lines) == MAP_ROWS
+        assert all(len(line) == MAP_COLS for line in lines)
+
+    def test_density_map_empty_trace(self):
+        from repro.experiments.fig2 import _density_map
+        from repro.types import Trace
+        assert _density_map(Trace(logical_pages=16)) == []

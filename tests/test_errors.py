@@ -1,0 +1,34 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize("exc", [
+    errors.ConfigError, errors.FlashError, errors.ProgramError,
+    errors.EraseError, errors.OutOfSpaceError, errors.CacheError,
+    errors.CacheCapacityError, errors.FTLError, errors.TranslationError,
+    errors.WorkloadError, errors.ExperimentError,
+])
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+
+
+def test_flash_sub_hierarchy():
+    assert issubclass(errors.ProgramError, errors.FlashError)
+    assert issubclass(errors.EraseError, errors.FlashError)
+    assert issubclass(errors.OutOfSpaceError, errors.FlashError)
+
+
+def test_cache_sub_hierarchy():
+    assert issubclass(errors.CacheCapacityError, errors.CacheError)
+
+
+def test_translation_is_ftl_error():
+    assert issubclass(errors.TranslationError, errors.FTLError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.ProgramError("x")

@@ -1,0 +1,119 @@
+"""CDFTL behaviour: CMT + CTP tiers and the kick-out rules."""
+
+import pytest
+
+from repro.config import CacheConfig, SimulationConfig, SSDConfig
+from repro.errors import CacheCapacityError
+from repro.ftl import CDFTL
+
+
+def make_cdftl(budget: int = 2048, logical_pages: int = 512) -> CDFTL:
+    ssd = SSDConfig(logical_pages=logical_pages, page_size=256,
+                    pages_per_block=8)
+    config = SimulationConfig(
+        ssd=ssd, cache=CacheConfig(budget_bytes=ssd.gtd_bytes + budget))
+    return CDFTL(config)
+
+
+class TestTiers:
+    def test_miss_loads_page_into_ctp_and_entry_into_cmt(self):
+        ftl = make_cdftl()
+        ftl.read_page(10)
+        assert ftl.metrics.trans_reads_load == 1
+        assert 10 in ftl.cmt
+        assert ftl.geometry.vtpn_of(10) in ftl.ctp
+
+    def test_cmt_hit_needs_no_flash(self):
+        ftl = make_cdftl()
+        ftl.read_page(10)
+        ftl.read_page(10)
+        assert ftl.metrics.hits == 1
+        assert ftl.metrics.trans_reads_load == 1
+
+    def test_ctp_hit_promotes_without_flash_read(self):
+        ftl = make_cdftl()
+        ftl.read_page(10)     # loads page 0 into CTP
+        ftl.read_page(20)     # same translation page: CTP hit
+        assert ftl.metrics.hits == 1
+        assert ftl.metrics.trans_reads_load == 1
+        assert 20 in ftl.cmt
+
+    def test_capacity_error_when_ctp_cannot_hold_one_page(self):
+        ssd = SSDConfig(logical_pages=512, page_size=256,
+                        pages_per_block=8)
+        config = SimulationConfig(
+            ssd=ssd, cache=CacheConfig(budget_bytes=ssd.gtd_bytes + 64))
+        with pytest.raises(CacheCapacityError):
+            CDFTL(config)
+
+
+class TestCMTEviction:
+    def fill_cmt(self, ftl, start=0):
+        for i in range(ftl.cmt_capacity):
+            ftl.read_page(start + i)
+
+    def test_clean_entries_evicted_first(self):
+        ftl = make_cdftl()
+        self.fill_cmt(ftl)
+        ftl.read_page(200)  # forces one CMT eviction, clean: free
+        assert ftl.metrics.trans_writes_writeback == 0
+
+    def test_dirty_entry_folds_into_ctp(self):
+        ftl = make_cdftl()
+        ftl.write_page(0)   # dirty in CMT; page 0 in CTP
+        new_ppn = ftl.cache_peek(0)
+        self.fill_cmt(ftl, start=1)
+        ftl.read_page(60)   # eviction pressure
+        # whether or not LPN 0 was the victim, no flash writeback needed
+        page = ftl.ctp.get(ftl.geometry.vtpn_of(0), touch=False)
+        if 0 not in ftl.cmt:
+            assert page.overrides[0] == new_ppn
+
+    def test_ctp_eviction_writes_back_dirty_page(self):
+        ftl = make_cdftl()  # CTP capacity is small (page-sized slots)
+        epp = ftl.geometry.entries_per_page
+        ftl.write_page(0)
+        # fold the dirty entry into the CTP page, then push it out
+        for lpn in range(1, ftl.cmt_capacity + 1):
+            ftl.read_page(lpn)
+        new_ppn = ftl.cache_peek(0) or ftl.ctp.get(
+            0, touch=False).overrides.get(0)
+        for vtpn in range(1, ftl.ctp_capacity + 2):
+            ftl.read_page(vtpn * epp)
+        ftl.flush()
+        ftl.check_consistency()
+
+
+class TestGCHooks:
+    def test_update_prefers_cmt(self):
+        ftl = make_cdftl()
+        ftl.read_page(5)
+        assert ftl._cache_update_if_present(5, 777)
+        assert ftl.cache_peek(5) == 777
+
+    def test_update_falls_back_to_ctp(self):
+        ftl = make_cdftl()
+        ftl.read_page(5)
+        ftl.cmt.remove(5)
+        assert ftl._cache_update_if_present(6, 888)  # page 0 in CTP
+        page = ftl.ctp.get(0, touch=False)
+        assert page.overrides[6] == 888
+
+    def test_update_misses_when_nowhere(self):
+        ftl = make_cdftl()
+        assert not ftl._cache_update_if_present(5, 1)
+
+
+class TestEndToEnd:
+    def test_mixed_workload_consistency(self):
+        import random
+        ftl = make_cdftl(budget=1024)
+        rng = random.Random(11)
+        for _ in range(400):
+            lpn = rng.randrange(512)
+            if rng.random() < 0.7:
+                ftl.write_page(lpn)
+            else:
+                ftl.read_page(lpn)
+        ftl.flush()
+        ftl.check_consistency()

@@ -1,0 +1,161 @@
+"""S-FTL behaviour: page-granular caching, compression, dirty buffer."""
+
+from repro.config import CacheConfig, SimulationConfig, SSDConfig
+from repro.ftl import SFTL
+from repro.ftl.sftl import (BUFFER_ENTRY_BYTES, PAGE_HEADER_BYTES,
+                            RUN_BYTES, SPARSE_DIRTY_LIMIT)
+
+
+def make_sftl(budget: int = 1024, buffer_fraction: float = 0.1,
+              logical_pages: int = 512) -> SFTL:
+    ssd = SSDConfig(logical_pages=logical_pages, page_size=256,
+                    pages_per_block=8)
+    config = SimulationConfig(
+        ssd=ssd,
+        cache=CacheConfig(budget_bytes=ssd.gtd_bytes + budget,
+                          sftl_dirty_buffer_fraction=buffer_fraction))
+    return SFTL(config)
+
+
+class TestPageGranularCaching:
+    def test_miss_loads_whole_page(self):
+        ftl = make_sftl()
+        ftl.read_page(0)
+        assert ftl.metrics.trans_reads_load == 1
+        # any entry of the same translation page now hits
+        ftl.read_page(63)
+        assert ftl.metrics.hits == 1
+        assert ftl.metrics.trans_reads_load == 1
+
+    def test_sequential_prefilled_page_compresses_to_one_run(self):
+        ftl = make_sftl()
+        ftl.read_page(0)
+        page = ftl.pages.get(0, touch=False)
+        assert page.runs == 1
+        assert page.charged_bytes == PAGE_HEADER_BYTES + RUN_BYTES
+
+    def test_fragmented_page_costs_more(self):
+        ftl = make_sftl(budget=2048)
+        # fragment page 0's mappings with scattered rewrites
+        for lpn in (0, 5, 9, 20, 33):
+            ftl.write_page(lpn)
+        ftl.flush()
+        ftl.pages = type(ftl.pages)()  # drop cache state
+        ftl.page_budget.used = 0
+        ftl.read_page(0)
+        page = ftl.pages.get(0, touch=False)
+        assert page.runs > 1
+        assert page.charged_bytes > PAGE_HEADER_BYTES + RUN_BYTES
+
+
+class TestReplacement:
+    def test_page_evicted_when_budget_full(self):
+        # room for two compressed pages (16B each) only
+        ftl = make_sftl(budget=40, buffer_fraction=0.0)
+        epp = ftl.geometry.entries_per_page
+        for vtpn in range(4):
+            ftl.read_page(vtpn * epp)
+        assert ftl.metrics.replacements > 0
+
+    def test_clean_page_eviction_free(self):
+        ftl = make_sftl(budget=40, buffer_fraction=0.0)
+        epp = ftl.geometry.entries_per_page
+        for vtpn in range(4):
+            ftl.read_page(vtpn * epp)
+        assert ftl.metrics.translation_page_writes == 0
+        assert ftl.metrics.dirty_replacements == 0
+
+    def test_dirty_page_writeback_is_single_program(self):
+        """Eq. 1 footnote: S-FTL victims are whole pages, written back
+        in Tfw without a read-modify-write read."""
+        ftl = make_sftl(budget=40, buffer_fraction=0.0)
+        epp = ftl.geometry.entries_per_page
+        ftl.write_page(0)
+        reads_before = ftl.metrics.trans_reads_writeback
+        for vtpn in range(1, 4):
+            ftl.read_page(vtpn * epp)
+        assert ftl.metrics.dirty_replacements >= 1
+        assert ftl.metrics.trans_writes_writeback >= 1
+        assert ftl.metrics.trans_reads_writeback == reads_before
+
+    def test_dirty_eviction_persists_values(self):
+        ftl = make_sftl(budget=40, buffer_fraction=0.0)
+        epp = ftl.geometry.entries_per_page
+        ftl.write_page(0)
+        new_ppn = ftl.cache_peek(0)
+        for vtpn in range(1, 4):
+            ftl.read_page(vtpn * epp)
+        assert ftl.flash_table[0] == new_ppn
+
+
+class TestDirtyBuffer:
+    def test_sparse_dirty_page_parks_in_buffer(self):
+        ftl = make_sftl(budget=256, buffer_fraction=0.5)
+        epp = ftl.geometry.entries_per_page
+        ftl.write_page(0)  # one dirty entry: sparse
+        writes_before = ftl.metrics.trans_writes_writeback
+        for vtpn in range(1, 6):
+            ftl.read_page(vtpn * epp)
+        # the sparse page avoided a writeback via the buffer
+        if 0 not in ftl.pages:
+            assert 0 in ftl.buffer
+            assert ftl.metrics.trans_writes_writeback == writes_before
+
+    def test_buffered_entry_still_hits(self):
+        ftl = make_sftl(budget=256, buffer_fraction=0.5)
+        epp = ftl.geometry.entries_per_page
+        ftl.write_page(0)
+        for vtpn in range(1, 6):
+            ftl.read_page(vtpn * epp)
+        if 0 in ftl.buffer:
+            hits_before = ftl.metrics.hits
+            ftl.read_page(0)
+            assert ftl.metrics.hits == hits_before + 1
+
+    def test_densely_dirty_page_not_buffered(self):
+        ftl = make_sftl(budget=256, buffer_fraction=0.5)
+        epp = ftl.geometry.entries_per_page
+        for lpn in range(SPARSE_DIRTY_LIMIT + 2):
+            ftl.write_page(lpn)
+        for vtpn in range(1, 6):
+            ftl.read_page(vtpn * epp)
+        assert 0 not in ftl.buffer
+
+    def test_zero_buffer_fraction_disables_buffer(self):
+        ftl = make_sftl(budget=256, buffer_fraction=0.0)
+        assert ftl.buffer_budget is None
+
+
+class TestGCIntegration:
+    def test_gc_update_hits_cached_page(self):
+        ftl = make_sftl(budget=2048)
+        ftl.read_page(0)
+        assert ftl._cache_update_if_present(0, 12345)
+        assert ftl.cache_peek(0) == 12345
+
+    def test_gc_update_misses_uncached_page(self):
+        ftl = make_sftl()
+        assert not ftl._cache_update_if_present(0, 12345)
+
+    def test_flush_extras_drains_buffer_group(self):
+        ftl = make_sftl(budget=256, buffer_fraction=0.5)
+        ftl.buffer[0] = {3: 99}
+        ftl.buffer_budget.charge(BUFFER_ENTRY_BYTES)
+        extras = ftl._gc_flush_extras(0)
+        assert extras == {3: 99}
+        assert 0 not in ftl.buffer
+
+
+class TestEndToEnd:
+    def test_mixed_workload_consistency(self, ):
+        ftl = make_sftl(budget=128)
+        import random
+        rng = random.Random(7)
+        for _ in range(300):
+            lpn = rng.randrange(512)
+            if rng.random() < 0.6:
+                ftl.write_page(lpn)
+            else:
+                ftl.read_page(lpn)
+        ftl.flush()
+        ftl.check_consistency()

@@ -1,0 +1,147 @@
+"""ZFTL behaviour: zone residency, switches, first-tier buffering."""
+
+import random
+
+import pytest
+
+from repro.config import CacheConfig, SimulationConfig, SSDConfig
+from repro.ftl import ZFTL
+from repro.recovery import verify_recovery
+
+
+def make_zftl(budget: int = 600, switch_threshold: int = 4,
+              logical_pages: int = 512) -> ZFTL:
+    """A ZFTL whose zone spans a controllable number of pages."""
+    ssd = SSDConfig(logical_pages=logical_pages, page_size=256,
+                    pages_per_block=8)
+    config = SimulationConfig(
+        ssd=ssd, cache=CacheConfig(budget_bytes=ssd.gtd_bytes + budget))
+    return ZFTL(config, switch_threshold=switch_threshold)
+
+
+class TestZoneResidency:
+    def test_first_access_activates_a_zone(self):
+        ftl = make_zftl()
+        ftl.read_page(10)
+        assert ftl.active_zone == ftl.zone_of(10)
+        assert ftl.zone_switches == 1
+
+    def test_in_zone_accesses_always_hit(self):
+        ftl = make_zftl()
+        ftl.read_page(0)   # activates zone 0
+        hits_before = ftl.metrics.hits
+        reads_before = ftl.metrics.translation_page_reads
+        span = ftl.zone_tpages * ftl.geometry.entries_per_page
+        for lpn in range(0, min(span, 64), 3):
+            ftl.read_page(lpn)
+        assert ftl.metrics.hits > hits_before
+        assert ftl.metrics.translation_page_reads == reads_before
+
+    def test_zone_sized_from_budget(self):
+        small = make_zftl(budget=300)
+        large = make_zftl(budget=1200)
+        assert large.zone_tpages >= small.zone_tpages
+
+
+class TestZoneSwitching:
+    def test_single_stray_does_not_switch(self):
+        ftl = make_zftl(switch_threshold=4)
+        ftl.read_page(0)
+        zone0 = ftl.active_zone
+        far = ftl.zone_tpages * ftl.geometry.entries_per_page * 2
+        ftl.read_page(far % 512)
+        assert ftl.active_zone == zone0
+
+    def test_sustained_strays_switch(self):
+        ftl = make_zftl(switch_threshold=3)
+        ftl.read_page(0)
+        far = (ftl.zone_tpages * ftl.geometry.entries_per_page) % 512
+        if ftl.zone_of(far) == ftl.active_zone:
+            pytest.skip("zone covers the whole device at this budget")
+        for _ in range(3):
+            ftl.read_page(far)
+        assert ftl.active_zone == ftl.zone_of(far)
+        assert ftl.zone_switches == 2
+
+    def test_switch_flushes_dirty_zone(self):
+        ftl = make_zftl(switch_threshold=2)
+        ftl.write_page(0)
+        new_ppn = ftl.cache_peek(0)
+        far = (ftl.zone_tpages * ftl.geometry.entries_per_page) % 512
+        if ftl.zone_of(far) == ftl.active_zone:
+            pytest.skip("zone covers the whole device at this budget")
+        for _ in range(2):
+            ftl.read_page(far)
+        assert ftl.flash_table[0] == new_ppn  # persisted by the flush
+        assert not ftl.zone_dirty
+
+    def test_switch_cost_visible_in_translation_reads(self):
+        ftl = make_zftl(switch_threshold=1)
+        ftl.read_page(0)
+        reads_after_first = ftl.metrics.trans_reads_load
+        assert reads_after_first >= ftl.zone_tpages
+
+
+class TestFirstTier:
+    def test_out_of_zone_write_lands_in_tier1(self):
+        ftl = make_zftl(switch_threshold=100)  # effectively pinned zone
+        ftl.read_page(0)
+        far = (ftl.zone_tpages * ftl.geometry.entries_per_page) % 512
+        if ftl.zone_of(far) == ftl.active_zone:
+            pytest.skip("zone covers the whole device at this budget")
+        ftl.write_page(far)
+        assert far in ftl.tier1
+
+    def test_tier1_overflow_batch_evicts(self):
+        ftl = make_zftl(budget=300, switch_threshold=10_000)
+        ftl.read_page(0)
+        span = ftl.zone_tpages * ftl.geometry.entries_per_page
+        writes_before = ftl.metrics.trans_writes_writeback
+        lpn = span
+        wrote = 0
+        while wrote <= ftl.tier1_capacity:
+            if ftl.zone_of(lpn % 512) != ftl.active_zone:
+                ftl.write_page(lpn % 512)
+                wrote += 1
+            lpn += 1
+        assert ftl.metrics.trans_writes_writeback > writes_before
+
+    def test_tier1_entry_is_a_hit(self):
+        ftl = make_zftl(switch_threshold=10_000)
+        ftl.read_page(0)
+        far = (ftl.zone_tpages * ftl.geometry.entries_per_page) % 512
+        if ftl.zone_of(far) == ftl.active_zone:
+            pytest.skip("zone covers the whole device at this budget")
+        ftl.write_page(far)
+        hits = ftl.metrics.hits
+        ftl.read_page(far)
+        assert ftl.metrics.hits == hits + 1
+
+
+class TestEndToEnd:
+    def test_consistency_and_recovery_after_stress(self):
+        ftl = make_zftl(switch_threshold=4)
+        rng = random.Random(19)
+        for _ in range(700):
+            lpn = rng.randrange(512)
+            if rng.random() < 0.7:
+                ftl.write_page(lpn)
+            else:
+                ftl.read_page(lpn)
+        ftl.flush()
+        ftl.check_consistency()
+        verify_recovery(ftl)
+
+    def test_zoned_locality_wins_over_scattered(self):
+        """ZFTL's signature: great when the working set fits one zone,
+        poor when accesses ping-pong across zones."""
+        rng = random.Random(23)
+        zoned = make_zftl(switch_threshold=4)
+        span = zoned.zone_tpages * zoned.geometry.entries_per_page
+        for _ in range(500):
+            zoned.read_page(rng.randrange(min(span, 512)))
+        scattered = make_zftl(switch_threshold=4)
+        for _ in range(500):
+            scattered.read_page(rng.randrange(512))
+        assert (zoned.metrics.hit_ratio
+                > scattered.metrics.hit_ratio)

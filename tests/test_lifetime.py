@@ -1,0 +1,90 @@
+"""Lifetime/endurance estimation from simulation runs."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ftl import make_ftl
+from repro.lifetime import (DEFAULT_PE_CYCLES, LifetimeEstimate,
+                            estimate_lifetime)
+from repro.ssd import simulate
+from repro.types import Op
+
+from conftest import make_trace
+
+
+def run_workload(tiny_config, name="optimal", writes=600):
+    ftl = make_ftl(name, tiny_config)
+    ops = [(Op.WRITE, i % 64, 1) for i in range(writes)]
+    result = simulate(ftl, make_trace(ops))
+    return ftl, result
+
+
+class TestEstimate:
+    def test_basic_fields(self, tiny_config):
+        ftl, run = run_workload(tiny_config)
+        estimate = estimate_lifetime(run, tiny_config.ssd,
+                                     flash=ftl.flash)
+        assert estimate.user_bytes_written == 600 * 256
+        assert estimate.erases == run.metrics.total_erases
+        assert estimate.erase_budget == (
+            tiny_config.ssd.physical_blocks * DEFAULT_PE_CYCLES)
+        assert estimate.wear_imbalance >= 1.0
+
+    def test_erases_per_gb_scales(self, tiny_config):
+        _, run = run_workload(tiny_config)
+        estimate = estimate_lifetime(run, tiny_config.ssd)
+        expected = run.metrics.total_erases / (600 * 256 / 2**30)
+        assert estimate.erases_per_gb == pytest.approx(expected)
+
+    def test_projection_inverse_to_erases(self):
+        a = LifetimeEstimate(user_bytes_written=1000, erases=10,
+                             erase_budget=1000, wear_imbalance=1.0)
+        b = LifetimeEstimate(user_bytes_written=1000, erases=20,
+                             erase_budget=1000, wear_imbalance=1.0)
+        assert a.projected_user_bytes == 2 * b.projected_user_bytes
+
+    def test_no_erases_means_infinite(self):
+        estimate = LifetimeEstimate(user_bytes_written=1000, erases=0,
+                                    erase_budget=1000,
+                                    wear_imbalance=1.0)
+        assert estimate.projected_user_bytes == float("inf")
+
+    def test_skew_shortens_lifetime(self):
+        level = LifetimeEstimate(user_bytes_written=1000, erases=10,
+                                 erase_budget=1000, wear_imbalance=1.0)
+        skewed = LifetimeEstimate(user_bytes_written=1000, erases=10,
+                                  erase_budget=1000, wear_imbalance=2.0)
+        assert (skewed.projected_user_bytes_skewed
+                == level.projected_user_bytes_skewed / 2)
+
+    def test_relative_lifetime(self):
+        a = LifetimeEstimate(user_bytes_written=1000, erases=10,
+                             erase_budget=1000, wear_imbalance=1.0)
+        b = LifetimeEstimate(user_bytes_written=1000, erases=20,
+                             erase_budget=1000, wear_imbalance=1.0)
+        assert a.relative_lifetime(b) == pytest.approx(2.0)
+
+    def test_pe_cycles_validated(self, tiny_config):
+        _, run = run_workload(tiny_config)
+        with pytest.raises(ConfigError):
+            estimate_lifetime(run, tiny_config.ssd, pe_cycles=0)
+
+
+class TestFTLLifetimeOrdering:
+    def test_tpftl_outlives_dftl_on_write_heavy(self, tiny_config):
+        """Fewer translation writes -> fewer erases -> longer life."""
+        import random
+        rng = random.Random(6)
+        ops = []
+        for _ in range(2500):
+            op = Op.WRITE if rng.random() < 0.8 else Op.READ
+            ops.append((op, rng.randrange(512), 1))
+        trace = make_trace(ops)
+        estimates = {}
+        for name in ("dftl", "tpftl"):
+            ftl = make_ftl(name, tiny_config)
+            run = simulate(ftl, trace)
+            estimates[name] = estimate_lifetime(run, tiny_config.ssd,
+                                                flash=ftl.flash)
+        ratio = estimates["tpftl"].relative_lifetime(estimates["dftl"])
+        assert ratio > 1.0

@@ -1,0 +1,96 @@
+"""Property-based tests on the analytical models and workload tools."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models import (ModelParams, avg_translation_time,
+                          write_amplification,
+                          write_amplification_counts)
+from repro.workloads import SyntheticSpec, characterize, generate
+
+ratios = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+positive_rw = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+valid_pages = st.floats(min_value=0.0, max_value=63.0, allow_nan=False)
+
+
+def params_strategy():
+    return st.builds(ModelParams, hr=ratios, prd=ratios, rw=positive_rw,
+                     hgcr=ratios, vd=valid_pages, vt=valid_pages,
+                     np=st.just(64))
+
+
+class TestModelProperties:
+    @given(p=params_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_eq12_eq13_identity(self, p):
+        counts = write_amplification_counts(p)
+        assert abs(counts.amplification - write_amplification(p)) < 1e-6
+
+    @given(p=params_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_wa_at_least_one(self, p):
+        assert write_amplification(p) >= 1.0 - 1e-9
+
+    @given(p=params_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_translation_time_non_negative_and_bounded(self, p):
+        t = avg_translation_time(p)
+        assert 0.0 <= t <= 2 * p.tfr + p.tfw + 1e-9
+
+    @given(p=params_strategy(), delta=st.floats(min_value=0.01,
+                                                max_value=0.5))
+    @settings(max_examples=100, deadline=None)
+    def test_wa_monotone_in_hit_ratio(self, p, delta):
+        if p.hr + delta > 1.0:
+            return
+        import dataclasses
+        better = dataclasses.replace(p, hr=p.hr + delta)
+        assert (write_amplification(better)
+                <= write_amplification(p) + 1e-9)
+
+    @given(p=params_strategy())
+    @settings(max_examples=100, deadline=None)
+    def test_counts_non_negative(self, p):
+        counts = write_amplification_counts(p)
+        assert counts.ntw >= 0
+        assert counts.nmd >= 0
+        assert counts.ndt >= 0
+        assert counts.nmt >= 0
+
+
+class TestSyntheticProperties:
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           write_ratio=ratios,
+           seq=ratios,
+           alpha=st.floats(min_value=1.0, max_value=64.0,
+                           allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_traces_always_valid(self, seed, write_ratio, seq,
+                                           alpha):
+        spec = SyntheticSpec(name="p", logical_pages=1024,
+                             num_requests=200, write_ratio=write_ratio,
+                             seq_read_fraction=seq,
+                             seq_write_fraction=seq,
+                             mean_read_pages=2.0, mean_write_pages=2.0,
+                             zipf_alpha=alpha, seed=seed)
+        trace = generate(spec)
+        assert len(trace) == 200
+        last_arrival = 0.0
+        for request in trace:
+            assert 0 <= request.lpn
+            assert request.end_lpn <= 1024
+            assert request.arrival >= last_arrival
+            last_arrival = request.arrival
+        stats = characterize(trace)
+        assert 0.0 <= stats.write_ratio <= 1.0
+        assert stats.footprint_pages <= 1024
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=20, deadline=None)
+    def test_generation_deterministic(self, seed):
+        spec = SyntheticSpec(name="p", logical_pages=512,
+                             num_requests=100, write_ratio=0.5,
+                             seed=seed)
+        a, b = generate(spec), generate(spec)
+        assert [(r.op, r.lpn, r.npages) for r in a] == \
+               [(r.op, r.lpn, r.npages) for r in b]

@@ -1,0 +1,53 @@
+"""The multi-channel device model extension."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.ftl import OptimalFTL
+from repro.ssd.parallel import ChannelSSDevice
+from repro.types import Op
+
+from conftest import make_trace
+
+
+class TestChannelDevice:
+    def test_single_channel_matches_serial_service(self, tiny_config):
+        ftl = OptimalFTL(tiny_config)
+        device = ChannelSSDevice(ftl, channels=1)
+        trace = make_trace([(Op.READ, 0, 4)], spacing_us=100_000)
+        result = device.run(trace)
+        assert result.response.mean == pytest.approx(4 * 25.0)
+
+    def test_channels_overlap_operations(self, tiny_config):
+        ftl = OptimalFTL(tiny_config)
+        device = ChannelSSDevice(ftl, channels=4)
+        trace = make_trace([(Op.READ, 0, 4)], spacing_us=100_000)
+        result = device.run(trace)
+        # four reads across four channels complete in one read time
+        assert result.response.mean == pytest.approx(25.0)
+
+    def test_more_channels_never_slower(self, tiny_config):
+        import random
+        rng = random.Random(2)
+        ops = [(Op.WRITE if rng.random() < 0.7 else Op.READ,
+                rng.randrange(512 - 4), rng.randint(1, 4))
+               for _ in range(400)]
+        means = []
+        for channels in (1, 2, 8):
+            ftl = OptimalFTL(tiny_config)
+            device = ChannelSSDevice(ftl, channels=channels)
+            result = device.run(make_trace(ops))
+            means.append(result.response.mean)
+        assert means[0] >= means[1] >= means[2]
+
+    def test_warmup_supported(self, tiny_config):
+        ftl = OptimalFTL(tiny_config)
+        device = ChannelSSDevice(ftl, channels=2)
+        ops = [(Op.WRITE, i % 32, 1) for i in range(50)]
+        result = device.run(make_trace(ops), warmup_requests=30)
+        assert result.requests == 20
+        assert result.metrics.user_page_writes == 20
+
+    def test_channel_count_validated(self, tiny_config):
+        with pytest.raises(ConfigError):
+            ChannelSSDevice(OptimalFTL(tiny_config), channels=0)

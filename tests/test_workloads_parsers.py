@@ -1,0 +1,125 @@
+"""The SPC and MSR trace parsers against hand-written fixtures."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.types import Op
+from repro.workloads import parse_msr_lines, parse_spc_lines
+from repro.workloads.msr import load_msr_trace
+from repro.workloads.spc import load_spc_trace
+
+SPC_LINES = [
+    "0,24,8192,r,0.5",          # 12KB offset? no: LBA 24 * 512 = 12288
+    "1,0,4096,W,0.75",
+    "",
+    "# comment",
+    "0,16,512,r,1.0",
+]
+
+MSR_LINES = [
+    "128166372003061629,host,0,Read,8192,8192,100",
+    "128166372003061729,host,0,Write,0,4096,100",
+    "128166372003062629,host,1,Read,0,4096,100",  # other disk
+]
+
+
+class TestSPCParser:
+    def test_basic_parse(self):
+        trace = parse_spc_lines(SPC_LINES)
+        assert len(trace) == 3
+        first = trace[0]
+        assert first.op is Op.READ
+        # LBA 24 -> byte 12288 -> page 3; 8KB spans pages 3..4
+        assert first.lpn == 3
+        assert first.npages == 2
+
+    def test_opcode_case_insensitive(self):
+        trace = parse_spc_lines(SPC_LINES)
+        assert trace[1].op is Op.WRITE
+
+    def test_timestamps_rebased_to_microseconds(self):
+        trace = parse_spc_lines(SPC_LINES)
+        assert trace[0].arrival == 0.0
+        assert trace[1].arrival == pytest.approx(0.25e6)
+
+    def test_sub_page_request_rounds_to_one_page(self):
+        trace = parse_spc_lines(SPC_LINES)
+        small = trace[2]
+        assert small.npages == 1
+        assert small.lpn == 2  # byte 8192
+
+    def test_asu_filter(self):
+        trace = parse_spc_lines(SPC_LINES, asu_filter=1)
+        assert len(trace) == 1
+        assert trace[0].op is Op.WRITE
+
+    def test_wrap_pages(self):
+        trace = parse_spc_lines(["0,1000000,4096,r,0.0"], wrap_pages=64)
+        assert trace[0].lpn < 64
+        assert trace.logical_pages == 64
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_spc_lines(["1,2,3"])
+        with pytest.raises(WorkloadError):
+            parse_spc_lines(["0,x,4096,r,0.0"])
+        with pytest.raises(WorkloadError):
+            parse_spc_lines(["0,0,4096,z,0.0"])
+
+    def test_zero_size_skipped(self):
+        trace = parse_spc_lines(["0,0,0,r,0.0", "0,0,4096,r,1.0"])
+        assert len(trace) == 1
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "fin.spc"
+        path.write_text("\n".join(SPC_LINES))
+        trace = load_spc_trace(path)
+        assert trace.name == "fin"
+        assert len(trace) == 3
+
+
+class TestMSRParser:
+    def test_basic_parse(self):
+        trace = parse_msr_lines(MSR_LINES)
+        assert len(trace) == 3
+        assert trace[0].op is Op.READ
+        assert trace[0].lpn == 2       # byte 8192
+        assert trace[0].npages == 2    # 8KB
+
+    def test_filetime_converted_to_microseconds(self):
+        trace = parse_msr_lines(MSR_LINES)
+        assert trace[0].arrival == 0.0
+        assert trace[1].arrival == pytest.approx(10.0)  # 100 ticks
+
+    def test_disk_filter(self):
+        trace = parse_msr_lines(MSR_LINES, disk_filter=1)
+        assert len(trace) == 1
+
+    def test_type_validation(self):
+        with pytest.raises(WorkloadError):
+            parse_msr_lines(["1,h,0,Trim,0,4096,1"])
+
+    def test_field_count_validation(self):
+        with pytest.raises(WorkloadError):
+            parse_msr_lines(["1,h,0,Read,0"])
+
+    def test_wrap_pages(self):
+        line = "1,h,0,Write,999999999999,4096,1"
+        trace = parse_msr_lines([line], wrap_pages=128)
+        assert trace[0].lpn < 128
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "ts_0.csv"
+        path.write_text("\n".join(MSR_LINES))
+        trace = load_msr_trace(path)
+        assert trace.name == "ts_0"
+        assert len(trace) == 3
+
+
+class TestParsedTracesRun:
+    def test_spc_trace_drives_simulation(self, tiny_config):
+        from repro.ftl import DFTL
+        from repro.ssd import simulate
+        trace = parse_spc_lines(SPC_LINES, wrap_pages=512)
+        result = simulate(DFTL(tiny_config), trace)
+        assert result.metrics.user_page_accesses > 0

@@ -1,0 +1,71 @@
+"""The four paper presets match Table 4's workload character."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (PRESET_NAMES, characterize, financial1,
+                             financial2, make_preset, msr_src, msr_ts)
+
+N = 8000
+
+
+class TestTable4Character:
+    def test_financial1_write_intensive_random(self):
+        stats = characterize(financial1(num_requests=N))
+        assert stats.write_ratio == pytest.approx(0.779, abs=0.02)
+        assert stats.avg_request_kb < 6.0
+        assert stats.seq_read_fraction < 0.05
+        assert stats.seq_write_fraction < 0.05
+
+    def test_financial2_read_intensive(self):
+        stats = characterize(financial2(num_requests=N))
+        assert stats.write_ratio == pytest.approx(0.18, abs=0.02)
+        assert stats.seq_read_fraction < 0.05
+
+    def test_msr_ts_write_dominant_sequential(self):
+        stats = characterize(msr_ts(num_requests=N))
+        assert stats.write_ratio == pytest.approx(0.824, abs=0.02)
+        assert stats.avg_request_kb > 6.0       # ~9KB requests
+        assert stats.seq_read_fraction > 0.15   # strong read runs
+        assert stats.seq_write_fraction > 0.2
+
+    def test_msr_src_write_dominant(self):
+        stats = characterize(msr_src(num_requests=N))
+        assert stats.write_ratio == pytest.approx(0.887, abs=0.02)
+        assert stats.seq_write_fraction > 0.15
+        # src is less read-sequential than ts (22.6% vs 47.2%)
+        ts = characterize(msr_ts(num_requests=N))
+        assert stats.seq_read_fraction < ts.seq_read_fraction
+
+    def test_msr_address_space_larger_than_financial(self):
+        assert (msr_ts(num_requests=10).logical_pages
+                > financial1(num_requests=10).logical_pages)
+
+    def test_financial_has_stronger_locality_pressure(self):
+        """Financial working sets are large relative to the cache; MSR
+        accesses concentrate (the paper's hit-ratio asymmetry)."""
+        fin = characterize(financial1(num_requests=N))
+        msr = characterize(msr_ts(num_requests=N))
+        assert fin.footprint_fraction > msr.footprint_fraction
+
+
+class TestPresetPlumbing:
+    def test_make_preset_by_name(self):
+        for name in PRESET_NAMES:
+            trace = make_preset(name, num_requests=50)
+            assert len(trace) == 50
+            assert trace.name == name
+
+    def test_unknown_preset(self):
+        with pytest.raises(WorkloadError):
+            make_preset("nope")
+
+    def test_custom_sizing(self):
+        trace = financial1(logical_pages=4096, num_requests=100)
+        assert trace.logical_pages == 4096
+        assert trace.max_lpn() < 4096
+
+    def test_seed_changes_trace(self):
+        a = financial1(num_requests=100, seed=1)
+        b = financial1(num_requests=100, seed=99)
+        assert [r.lpn for r in a] != [r.lpn for r in b]

@@ -1,0 +1,76 @@
+"""Trace writers round-trip through the parsers losslessly."""
+
+import pytest
+
+from repro.types import Op, Request, Trace
+from repro.workloads import parse_msr_lines, parse_spc_lines
+from repro.workloads.writers import (msr_lines, spc_lines,
+                                     write_msr_trace, write_spc_trace)
+
+
+@pytest.fixture
+def trace() -> Trace:
+    return Trace(requests=[
+        Request(arrival=0.0, op=Op.READ, lpn=3, npages=2),
+        Request(arrival=250.0, op=Op.WRITE, lpn=0, npages=1),
+        Request(arrival=1000.5, op=Op.READ, lpn=100, npages=4),
+    ], logical_pages=512, name="rt")
+
+
+def same_requests(a: Trace, b: Trace, time_tol_us: float) -> None:
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.op is y.op
+        assert x.lpn == y.lpn
+        assert x.npages == y.npages
+        assert abs(x.arrival - y.arrival) <= time_tol_us
+
+
+class TestSPCRoundTrip:
+    def test_round_trip(self, trace):
+        parsed = parse_spc_lines(spc_lines(trace))
+        same_requests(trace, parsed, time_tol_us=1.0)
+
+    def test_write_to_file(self, trace, tmp_path):
+        path = tmp_path / "out.spc"
+        write_spc_trace(trace, path)
+        from repro.workloads import load_spc_trace
+        parsed = load_spc_trace(path)
+        same_requests(trace, parsed, time_tol_us=1.0)
+
+    def test_opcode_direction(self, trace):
+        lines = list(spc_lines(trace))
+        assert lines[0].split(",")[3] == "r"
+        assert lines[1].split(",")[3] == "w"
+
+
+class TestMSRRoundTrip:
+    def test_round_trip(self, trace):
+        parsed = parse_msr_lines(msr_lines(trace))
+        same_requests(trace, parsed, time_tol_us=0.1)
+
+    def test_write_to_file(self, trace, tmp_path):
+        path = tmp_path / "out.csv"
+        write_msr_trace(trace, path)
+        from repro.workloads import load_msr_trace
+        parsed = load_msr_trace(path)
+        same_requests(trace, parsed, time_tol_us=0.1)
+
+    def test_field_layout(self, trace):
+        first = list(msr_lines(trace, hostname="h", disk=3))[0]
+        parts = first.split(",")
+        assert parts[1] == "h"
+        assert parts[2] == "3"
+        assert parts[3] == "Read"
+
+
+class TestSyntheticRoundTrip:
+    def test_preset_survives_spc_round_trip(self):
+        from repro.workloads import characterize, financial1
+        trace = financial1(logical_pages=4096, num_requests=500)
+        parsed = parse_spc_lines(spc_lines(trace))
+        original = characterize(trace)
+        replayed = characterize(parsed)
+        assert replayed.write_ratio == pytest.approx(
+            original.write_ratio)
+        assert replayed.footprint_pages == original.footprint_pages
