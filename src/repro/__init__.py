@@ -20,8 +20,10 @@ Quickstart::
 
 from .config import (CacheConfig, SimulationConfig, SSDConfig,
                      TPFTLConfig)
-from .errors import (CacheError, ConfigError, ExperimentError, FlashError,
-                     FTLError, ReproError, WorkloadError)
+from .errors import (CacheError, ConfigError, DeviceWornOutError,
+                     ExperimentError, FlashError, FTLError, PowerLossError,
+                     ReadError, ReproError, WorkloadError)
+from .faults import FaultInjector, FaultPlan
 from .ftl import (CDFTL, DFTL, FTL_NAMES, SFTL, TPFTL, ZFTL, BaseFTL,
                   BlockFTL, HybridFTL, OptimalFTL, make_ftl)
 from .ssd import RunResult, SSDevice, simulate
@@ -37,5 +39,7 @@ __all__ = [
     "Op", "Request", "Trace",
     "ReproError", "ConfigError", "FlashError", "CacheError", "FTLError",
     "WorkloadError", "ExperimentError",
+    "ReadError", "DeviceWornOutError", "PowerLossError",
+    "FaultPlan", "FaultInjector",
     "__version__",
 ]

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from .errors import ConfigError
+from .faults import FaultPlan
 
 #: Bytes per mapping entry in a flat page-level table (4B LPN + 4B PPN).
 FULL_ENTRY_BYTES = 8
@@ -58,6 +59,17 @@ class SSDConfig:
     #: pool falls to the emergency reserve.  Keeps GC cost spread across
     #: requests instead of multi-millisecond bursts.
     gc_max_collections_per_access: int = 2
+    # -- fault injection (all off by default: an ideal device) ---------
+    #: probability a single read attempt needs an ECC retry.
+    read_error_rate: float = 0.0
+    #: probability a program attempt fails (the page goes bad).
+    program_fail_rate: float = 0.0
+    #: probability an erase fails (the block is retired).
+    erase_fail_rate: float = 0.0
+    #: seed of the fault injector's RNG (faults are deterministic).
+    fault_seed: int = 0
+    #: ECC retries allowed before a read raises ReadError.
+    max_read_retries: int = 8
 
     def __post_init__(self) -> None:
         if self.logical_pages <= 0:
@@ -77,6 +89,8 @@ class SSDConfig:
         if self.gc_max_collections_per_access < 1:
             raise ConfigError(
                 "gc_max_collections_per_access must be >= 1")
+        # rate/budget validation is shared with FaultPlan
+        self.fault_plan()
 
     # ------------------------------------------------------------------
     # Derived geometry
@@ -129,6 +143,38 @@ class SSDConfig:
     def capacity_bytes(self) -> int:
         """Host-visible capacity in bytes."""
         return self.logical_pages * self.page_size
+
+    # ------------------------------------------------------------------
+    # Reliability / fault model
+    # ------------------------------------------------------------------
+    @property
+    def min_required_blocks(self) -> int:
+        """Blocks the device cannot operate below: the logical space,
+        the translation pages, and the GC reserve/trigger headroom."""
+        translation = math.ceil(self.translation_pages
+                                / self.pages_per_block)
+        return (self.logical_blocks + translation
+                + self.gc_reserve_blocks + self.gc_threshold_blocks)
+
+    @property
+    def spare_blocks(self) -> int:
+        """Blocks the device can lose to retirement before wearing out.
+
+        The over-provisioned capacity beyond :attr:`min_required_blocks`;
+        once more blocks than this retire, the flash raises
+        :class:`~repro.errors.DeviceWornOutError`.
+        """
+        return self.physical_blocks - self.min_required_blocks
+
+    def fault_plan(self) -> FaultPlan:
+        """The fault plan implied by this config's fault-rate knobs."""
+        return FaultPlan(
+            seed=self.fault_seed,
+            read_error_rate=self.read_error_rate,
+            program_fail_rate=self.program_fail_rate,
+            erase_fail_rate=self.erase_fail_rate,
+            max_read_retries=self.max_read_retries,
+        )
 
     # ------------------------------------------------------------------
     # Mapping-table sizes

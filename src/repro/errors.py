@@ -35,6 +35,33 @@ class EraseError(FlashError):
     """A block erase violated NAND constraints (e.g. valid pages remain)."""
 
 
+class ReadError(FlashError):
+    """A page read failed even after exhausting the ECC retry budget.
+
+    Injected read errors are normally transient and corrected by the
+    retry-with-backoff loop; this is the uncorrectable tail.
+    """
+
+
+class DeviceWornOutError(FlashError):
+    """Block retirement has exhausted the device's spare capacity.
+
+    Raised when retiring one more block (after an erase failure or a
+    bad-page accumulation) would leave fewer usable blocks than the
+    logical space plus metadata and GC reserve require.  The device can
+    still be read; it can no longer safely accept writes.
+    """
+
+
+class PowerLossError(FlashError):
+    """A simulated power cut stopped the device mid-workload.
+
+    Raised by the fault injector at the start of the flash operation on
+    which power dies, so the flash state equals everything completed
+    before the cut — exactly what a post-crash scan would find.
+    """
+
+
 class OutOfSpaceError(FlashError):
     """The flash ran out of free blocks and garbage collection cannot help.
 

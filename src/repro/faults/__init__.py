@@ -1,0 +1,21 @@
+"""Fault injection and reliability testing for the NAND substrate.
+
+The paper motivates TPFTL partly by the vulnerability of large RAM
+mapping caches to power failure (§1); this package makes that concern —
+and the rest of the NAND failure model — testable:
+
+* :class:`FaultPlan` / :class:`FaultInjector` — deterministic, seedable
+  injection of transient read errors, program failures and erase
+  failures, consulted by :class:`~repro.flash.FlashMemory` on every
+  operation.
+* :mod:`repro.faults.powerloss` — a torture harness that cuts power
+  after the N-th flash operation for a sweep of N, reconstructs state
+  with :func:`repro.recovery.scan_flash`, and checks crash-consistency
+  invariants (imported explicitly, not re-exported here, because it
+  depends on the FTL layer).
+"""
+
+from .injector import FaultInjector
+from .plan import FaultPlan
+
+__all__ = ["FaultPlan", "FaultInjector"]

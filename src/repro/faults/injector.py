@@ -1,0 +1,112 @@
+"""The fault injector: the flash array's oracle for what goes wrong.
+
+:class:`FlashMemory` consults one injector at every program, read and
+erase.  The injector rolls its own :class:`random.Random` (seeded from
+the plan), so a fault sequence is a pure function of (plan, operation
+order) — rerunning a workload reproduces every fault at the same
+operation, which is what makes fault regressions debuggable.
+
+The injector also owns the power-cut countdown.  Power loss is raised at
+the *start* of the operation on which power dies, before any state
+mutates: the flash then holds exactly the operations that completed,
+mirroring how a real controller's NAND state looks to a post-crash scan.
+Individual program+invalidate pairs in the FTLs are not split by a cut
+because invalidation is out-of-band bookkeeping (derived from page
+sequence numbers on real hardware), not a separate flash operation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..errors import ConfigError, PowerLossError
+from .plan import FaultPlan
+
+
+class FaultInjector:
+    """Deterministic per-operation fault oracle for one flash array."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        self.plan = plan if plan is not None else FaultPlan()
+        self._rng = random.Random(self.plan.seed)
+        #: flash operations that have started (and not been cut short).
+        self.ops_seen = 0
+        self._cut_at: Optional[int] = self.plan.power_cut_after_ops
+        # injected-fault ground truth, for tests and reports
+        self.injected_read_errors = 0
+        self.injected_program_failures = 0
+        self.injected_erase_failures = 0
+        self.power_cuts = 0
+
+    # ------------------------------------------------------------------
+    # Power loss
+    # ------------------------------------------------------------------
+    @property
+    def power_loss_armed(self) -> bool:
+        """True while a power cut is pending."""
+        return self._cut_at is not None
+
+    def arm_power_loss(self, after_ops: int) -> None:
+        """Cut power after ``after_ops`` more flash operations complete.
+
+        ``after_ops=0`` means the very next operation dies.  Arming is
+        relative to now, so a harness can build and prefill an FTL first
+        and only then start the countdown.
+        """
+        if after_ops < 0:
+            raise ConfigError("after_ops must be non-negative")
+        self._cut_at = self.ops_seen + after_ops
+
+    def disarm_power_loss(self) -> None:
+        """Cancel a pending power cut (the harness 'reconnects power')."""
+        self._cut_at = None
+
+    def on_operation(self) -> None:
+        """Account one flash operation; raise if power dies on it.
+
+        Called by the flash array at the start of every program attempt,
+        read attempt and erase, before any state changes.
+        """
+        if self._cut_at is not None and self.ops_seen >= self._cut_at:
+            self.power_cuts += 1
+            raise PowerLossError(
+                f"power lost after {self.ops_seen} flash operations")
+        self.ops_seen += 1
+
+    # ------------------------------------------------------------------
+    # Media faults
+    # ------------------------------------------------------------------
+    def read_attempt_fails(self) -> bool:
+        """Roll one read attempt; True injects a transient ECC error."""
+        if self.plan.read_error_rate <= 0.0:
+            return False
+        if self._rng.random() < self.plan.read_error_rate:
+            self.injected_read_errors += 1
+            return True
+        return False
+
+    def program_fails(self) -> bool:
+        """Roll one program attempt; True marks the target page bad."""
+        if self.plan.program_fail_rate <= 0.0:
+            return False
+        if self._rng.random() < self.plan.program_fail_rate:
+            self.injected_program_failures += 1
+            return True
+        return False
+
+    def erase_fails(self) -> bool:
+        """Roll one erase; True retires the block."""
+        if self.plan.erase_fail_rate <= 0.0:
+            return False
+        if self._rng.random() < self.plan.erase_fail_rate:
+            self.injected_erase_failures += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FaultInjector(ops_seen={self.ops_seen}, "
+                f"armed={self.power_loss_armed}, "
+                f"read_errors={self.injected_read_errors}, "
+                f"program_failures={self.injected_program_failures}, "
+                f"erase_failures={self.injected_erase_failures})")

@@ -21,7 +21,7 @@ class Block:
 
     __slots__ = ("block_id", "pages_per_block", "kind", "erase_count",
                  "last_program_seq", "_states", "_meta", "_write_ptr",
-                 "valid_count", "invalid_count")
+                 "valid_count", "invalid_count", "bad_count")
 
     def __init__(self, block_id: int, pages_per_block: int) -> None:
         self.block_id = block_id
@@ -37,18 +37,21 @@ class Block:
         self._write_ptr = 0
         self.valid_count = 0
         self.invalid_count = 0
+        #: pages permanently lost to program failures (survive erases).
+        self.bad_count = 0
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     @property
     def free_count(self) -> int:
-        """Pages not yet programmed in this block."""
-        return self.pages_per_block - self._write_ptr
+        """Programmable pages left in this block (bad pages excluded)."""
+        return sum(1 for state in self._states[self._write_ptr:]
+                   if state is PageState.FREE)
 
     @property
     def is_full(self) -> bool:
-        """True once every page has been programmed."""
+        """True once no programmable page remains."""
         return self._write_ptr >= self.pages_per_block
 
     @property
@@ -72,6 +75,17 @@ class Block:
     # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Move the write pointer to the next FREE page (skipping BAD).
+
+        Maintains the invariant that ``_write_ptr`` either indexes a
+        programmable page or equals ``pages_per_block`` — which is what
+        makes :attr:`is_full` a plain comparison.
+        """
+        while (self._write_ptr < self.pages_per_block
+               and self._states[self._write_ptr] is not PageState.FREE):
+            self._write_ptr += 1
+
     def program(self, meta: int, seq: int = 0) -> int:
         """Program the next free page; returns its offset in the block.
 
@@ -93,6 +107,25 @@ class Block:
         self._write_ptr += 1
         self.valid_count += 1
         self.last_program_seq = seq
+        self._advance()
+        return offset
+
+    def mark_bad(self) -> int:
+        """Mark the next programmable page BAD (a program failure).
+
+        The page is consumed permanently: erases leave it BAD and the
+        write pointer skips over it.  Returns the offset marked.
+        """
+        if self.kind is BlockKind.FREE:
+            raise ProgramError(
+                f"block {self.block_id} marked bad before allocation")
+        if self.is_full:
+            raise ProgramError(f"block {self.block_id} is full")
+        offset = self._write_ptr
+        self._states[offset] = PageState.BAD
+        self._meta[offset] = None
+        self.bad_count += 1
+        self._advance()
         return offset
 
     def invalidate(self, offset: int) -> None:
@@ -116,7 +149,9 @@ class Block:
             raise EraseError(
                 f"block {self.block_id} still has {self.valid_count} "
                 "valid pages")
-        for i in range(self._write_ptr):
+        for i in range(self.pages_per_block):
+            if self._states[i] is PageState.BAD:
+                continue
             self._states[i] = PageState.FREE
             self._meta[i] = None
         self._write_ptr = 0
@@ -124,8 +159,10 @@ class Block:
         self.invalid_count = 0
         self.erase_count += 1
         self.kind = BlockKind.FREE
+        self._advance()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Block(id={self.block_id}, kind={self.kind.value}, "
                 f"valid={self.valid_count}, invalid={self.invalid_count}, "
-                f"free={self.free_count}, erases={self.erase_count})")
+                f"free={self.free_count}, bad={self.bad_count}, "
+                f"erases={self.erase_count})")

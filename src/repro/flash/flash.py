@@ -6,15 +6,28 @@ and erase blocks — and it counts every operation — but *when* to collect
 garbage, which block to victimise, and how mappings change are decisions of
 the FTL layered on top.  This mirrors the split in FlashSim that the paper
 extends.
+
+Reliability is handled here, below the FTLs, the way real controllers do:
+every program, read and erase consults a :class:`~repro.faults.FaultInjector`
+(a no-op by default).  Transient read errors are retried with exponential
+backoff; a failed program marks the page bad and transparently moves the
+write to the next programmable page; a failed erase — or an erase of a
+block whose bad pages crossed the retirement threshold — takes the block
+out of service.  Retirement eats the spare capacity; when more blocks
+retire than the over-provisioning can absorb, the array raises
+:class:`~repro.errors.DeviceWornOutError`.
 """
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional
 
 from ..config import SSDConfig
-from ..errors import FlashError, OutOfSpaceError
+from ..errors import (DeviceWornOutError, EraseError, FlashError,
+                      OutOfSpaceError, ReadError)
+from ..faults import FaultInjector
 from ..types import BlockKind, PageKind, PageState
 from .block import Block
 from .stats import FlashStats
@@ -29,7 +42,8 @@ _REGION_OF = {
 class FlashMemory:
     """An array of NAND blocks with one write frontier per region."""
 
-    def __init__(self, config: SSDConfig) -> None:
+    def __init__(self, config: SSDConfig,
+                 injector: Optional[FaultInjector] = None) -> None:
         self.config = config
         self.pages_per_block = config.pages_per_block
         self.blocks: List[Block] = [
@@ -45,6 +59,15 @@ class FlashMemory:
         #: monotonic operation sequence, stamped onto blocks at program
         #: time so GC policies can reason about block age.
         self.op_seq = 0
+        #: fault oracle consulted on every operation (no-op by default).
+        self.injector = (injector if injector is not None
+                         else FaultInjector(config.fault_plan()))
+        #: blocks permanently out of service, in retirement order.
+        self.retired_block_ids: List[int] = []
+        #: bad pages in a block at which its next erase retires it.
+        self._bad_retire_pages = max(1, math.ceil(
+            config.pages_per_block
+            * self.injector.plan.bad_page_retire_fraction))
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -83,9 +106,34 @@ class FlashMemory:
         """True when only the emergency reserve remains."""
         return len(self._free) <= self.config.gc_reserve_blocks
 
+    @property
+    def retired_block_count(self) -> int:
+        """Blocks permanently out of service."""
+        return len(self.retired_block_ids)
+
+    @property
+    def spare_blocks_remaining(self) -> int:
+        """Retirements the device can still absorb before wearing out.
+
+        Grown bad pages in live blocks are charged against the spares
+        too (in whole-block equivalents): capacity they ate is just as
+        gone as a retired block's.
+        """
+        return (self.config.spare_blocks - len(self.retired_block_ids)
+                - self.bad_page_count // self.pages_per_block)
+
+    @property
+    def is_worn(self) -> bool:
+        """True once retirement or bad pages have consumed any capacity."""
+        return bool(self.retired_block_ids) or self.bad_page_count > 0
+
+    @property
+    def bad_page_count(self) -> int:
+        """Pages lost to program failures, device-wide."""
+        return sum(block.bad_count for block in self.blocks)
+
     def blocks_of_kind(self, kind: BlockKind) -> Iterable[Block]:
         """Iterate blocks currently playing role ``kind``."""
-        active = self._active[kind] if kind in self._active else None
         for block in self.blocks:
             if block.kind is kind:
                 yield block
@@ -106,16 +154,26 @@ class FlashMemory:
 
         ``meta`` is the logical identity of the content (LPN for data
         pages, VTPN for translation pages), recorded so GC can find the
-        owner of every valid page.
+        owner of every valid page.  An injected program failure marks
+        the target page bad and retries on the next programmable page
+        (allocating a fresh frontier block if needed), as a real
+        controller's write path does.
         """
         region = _REGION_OF[kind]
-        block = self._active[region]
-        if block is None or block.is_full:
-            block = self._allocate(region)
-        self.op_seq += 1
-        offset = block.program(meta, self.op_seq)
-        self.stats.record_write(kind)
-        return self.ppn_of(block.block_id, offset)
+        while True:
+            block = self._active[region]
+            if block is None or block.is_full:
+                block = self._allocate(region)
+            self.injector.on_operation()
+            self.op_seq += 1
+            if self.injector.program_fails():
+                block.mark_bad()
+                self.stats.record_program_failure()
+                self._check_spares()
+                continue
+            offset = block.program(meta, self.op_seq)
+            self.stats.record_write(kind)
+            return self.ppn_of(block.block_id, offset)
 
     def allocate_block(self, region: BlockKind) -> Block:
         """Take a free block for dedicated use (not the region frontier).
@@ -123,8 +181,9 @@ class FlashMemory:
         Used by block-granular FTLs that fill whole blocks themselves
         (e.g. hybrid-FTL merges); pair with :meth:`program_into`.
         """
-        if region is BlockKind.FREE:
-            raise FlashError("cannot allocate a block as FREE")
+        if region is BlockKind.FREE or region is BlockKind.RETIRED:
+            raise FlashError(
+                f"cannot allocate a block as {region.value.upper()}")
         if not self._free:
             raise OutOfSpaceError(
                 "no free blocks left; GC failed to reclaim space")
@@ -133,22 +192,52 @@ class FlashMemory:
         return block
 
     def program_into(self, block: Block, kind: PageKind, meta: int) -> int:
-        """Program the next page of a specific block; returns its PPN."""
-        self.op_seq += 1
-        offset = block.program(meta, self.op_seq)
-        self.stats.record_write(kind)
-        return self.ppn_of(block.block_id, offset)
+        """Program the next page of a specific block; returns its PPN.
+
+        A program failure marks the page bad and retries within the same
+        block; callers that need full, contiguous blocks (block-mapped
+        FTLs) must not enable program-fault injection.
+        """
+        while True:
+            self.injector.on_operation()
+            self.op_seq += 1
+            if self.injector.program_fails():
+                block.mark_bad()
+                self.stats.record_program_failure()
+                self._check_spares()
+                continue
+            offset = block.program(meta, self.op_seq)
+            self.stats.record_write(kind)
+            return self.ppn_of(block.block_id, offset)
 
     def read(self, ppn: int, kind: PageKind) -> int:
         """Read a page; returns its metadata (LPN/VTPN).
 
         Reading a non-valid page is a simulator bug and raises.
+        Transient (injected) read errors are retried with exponential
+        backoff up to the plan's retry budget; each retry is itself a
+        flash operation.  Exhausting the budget raises
+        :class:`~repro.errors.ReadError`.
         """
         block = self.block_of(ppn)
         offset = self.offset_of(ppn)
         if block.state(offset) is not PageState.VALID:
             raise FlashError(
                 f"read of {block.state(offset).name} page at PPN {ppn}")
+        self.injector.on_operation()
+        failures = 0
+        while self.injector.read_attempt_fails():
+            failures += 1
+            if failures > self.injector.plan.max_read_retries:
+                self.stats.record_uncorrectable_read()
+                raise ReadError(
+                    f"uncorrectable error at PPN {ppn} after "
+                    f"{failures} attempts")
+            self.injector.on_operation()
+            self.stats.record_read_retry(
+                backoff_us=self.config.read_us * (2 ** (failures - 1)))
+        if failures:
+            self.stats.record_ecc_recovery()
         self.stats.record_read(kind)
         meta = block.meta(offset)
         assert meta is not None
@@ -158,17 +247,39 @@ class FlashMemory:
         """Invalidate the page at ``ppn`` (its content was superseded)."""
         self.block_of(ppn).invalidate(self.offset_of(ppn))
 
-    def erase(self, block_id: int) -> None:
-        """Erase a block and return it to the free pool."""
+    def erase(self, block_id: int) -> bool:
+        """Erase a block; True if it returned to the free pool.
+
+        False means the block was retired instead — its erase failed, or
+        its accumulated bad pages crossed the retirement threshold.  The
+        physical erase is still counted in the latter case.  Retiring
+        past the spare capacity raises
+        :class:`~repro.errors.DeviceWornOutError`.
+        """
         block = self.blocks[block_id]
         if block.is_free:
             raise FlashError(f"block {block_id} is already free")
+        if block.kind is BlockKind.RETIRED:
+            raise FlashError(f"block {block_id} is retired")
+        if block.valid_count:
+            raise EraseError(
+                f"block {block_id} still has {block.valid_count} "
+                "valid pages")
         kind = block.kind
         if self._active.get(kind) is block:
             self._active[kind] = None
+        self.injector.on_operation()
+        if self.injector.erase_fails():
+            self.stats.record_erase_failure()
+            self._retire(block)
+            return False
         block.erase()
-        self._free.append(block_id)
         self.stats.record_erase(kind)
+        if block.bad_count >= self._bad_retire_pages:
+            self._retire(block)
+            return False
+        self._free.append(block_id)
+        return True
 
     # ------------------------------------------------------------------
     # Internals
@@ -182,6 +293,22 @@ class FlashMemory:
         self._active[region] = block
         return block
 
+    def _retire(self, block: Block) -> None:
+        """Take ``block`` out of service permanently."""
+        block.kind = BlockKind.RETIRED
+        self.retired_block_ids.append(block.block_id)
+        self.stats.record_block_retired()
+        self._check_spares()
+
+    def _check_spares(self) -> None:
+        if self.spare_blocks_remaining < 0:
+            raise DeviceWornOutError(
+                f"{len(self.retired_block_ids)} blocks retired and "
+                f"{self.bad_page_count} pages grown bad, but the device "
+                f"has only {self.config.spare_blocks} spare blocks; the "
+                "remaining capacity cannot hold the logical space")
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"FlashMemory(blocks={len(self.blocks)}, "
-                f"free={self.free_block_count})")
+                f"free={self.free_block_count}, "
+                f"retired={self.retired_block_count})")

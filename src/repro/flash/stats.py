@@ -25,6 +25,22 @@ class FlashStats:
     erases: Dict[BlockKind, int] = field(
         default_factory=lambda: {k: 0 for k in BlockKind})
 
+    # -- fault handling (all zero on an ideal device) -------------------
+    #: ECC retry reads issued after transient read errors.
+    read_retries: int = 0
+    #: reads that needed at least one retry but ultimately succeeded.
+    ecc_recovered_reads: int = 0
+    #: reads that exhausted the retry budget (raised ReadError).
+    uncorrectable_reads: int = 0
+    #: simulated time spent in retry backoff, in microseconds.
+    read_backoff_us: float = 0.0
+    #: program attempts that failed (one bad page each).
+    program_failures: int = 0
+    #: erases that failed (the block was retired).
+    erase_failures: int = 0
+    #: blocks taken out of service (erase failure or bad-page wear-out).
+    retired_blocks: int = 0
+
     def record_read(self, kind: PageKind) -> None:
         """Count one page read of the given kind."""
         self.page_reads[kind] += 1
@@ -36,6 +52,31 @@ class FlashStats:
     def record_erase(self, kind: BlockKind) -> None:
         """Count one block erase of the given kind."""
         self.erases[kind] += 1
+
+    def record_read_retry(self, backoff_us: float) -> None:
+        """Count one ECC retry and the backoff time it cost."""
+        self.read_retries += 1
+        self.read_backoff_us += backoff_us
+
+    def record_ecc_recovery(self) -> None:
+        """Count one read recovered by retrying."""
+        self.ecc_recovered_reads += 1
+
+    def record_uncorrectable_read(self) -> None:
+        """Count one read lost despite the full retry budget."""
+        self.uncorrectable_reads += 1
+
+    def record_program_failure(self) -> None:
+        """Count one failed program attempt (page went bad)."""
+        self.program_failures += 1
+
+    def record_erase_failure(self) -> None:
+        """Count one failed erase."""
+        self.erase_failures += 1
+
+    def record_block_retired(self) -> None:
+        """Count one block leaving service permanently."""
+        self.retired_blocks += 1
 
     # ------------------------------------------------------------------
     # Convenience totals
@@ -75,19 +116,49 @@ class FlashStats:
         """Reads of translation pages."""
         return self.page_reads[PageKind.TRANSLATION]
 
+    def fault_summary(self) -> Dict[str, float]:
+        """The fault/retry counters as a flat dict, for reports."""
+        return {
+            "read_retries": self.read_retries,
+            "ecc_recovered_reads": self.ecc_recovered_reads,
+            "uncorrectable_reads": self.uncorrectable_reads,
+            "read_backoff_us": self.read_backoff_us,
+            "program_failures": self.program_failures,
+            "erase_failures": self.erase_failures,
+            "retired_blocks": self.retired_blocks,
+        }
+
     def snapshot(self) -> "FlashStats":
         """An independent copy, for before/after deltas."""
         return FlashStats(
             page_reads=dict(self.page_reads),
             page_writes=dict(self.page_writes),
             erases=dict(self.erases),
+            read_retries=self.read_retries,
+            ecc_recovered_reads=self.ecc_recovered_reads,
+            uncorrectable_reads=self.uncorrectable_reads,
+            read_backoff_us=self.read_backoff_us,
+            program_failures=self.program_failures,
+            erase_failures=self.erase_failures,
+            retired_blocks=self.retired_blocks,
         )
 
     def reset(self) -> None:
-        """Zero all counters (used after warm-up/prefill)."""
+        """Zero all counters (used after warm-up/prefill).
+
+        Fault counters are zeroed too: a warm-up's faults are part of
+        the warm-up, just like its writes.
+        """
         for key in self.page_reads:
             self.page_reads[key] = 0
         for key in self.page_writes:
             self.page_writes[key] = 0
         for key in self.erases:
             self.erases[key] = 0
+        self.read_retries = 0
+        self.ecc_recovered_reads = 0
+        self.uncorrectable_reads = 0
+        self.read_backoff_us = 0.0
+        self.program_failures = 0
+        self.erase_failures = 0
+        self.retired_blocks = 0

@@ -26,7 +26,8 @@ import abc
 from typing import Dict, List, Optional, Tuple
 
 from ..config import SimulationConfig
-from ..errors import FTLError, OutOfSpaceError, TranslationError
+from ..errors import (DeviceWornOutError, FTLError, OutOfSpaceError,
+                      TranslationError)
 from ..flash import FlashMemory
 from ..flash.block import Block
 from ..gc import GreedyPolicy, VictimPolicy, WearLeveler
@@ -358,6 +359,13 @@ class BaseFTL(abc.ABC):
             victim = self._select_victim()
             if victim is None:
                 if self.flash.exhausted:
+                    if self.flash.is_worn:
+                        raise DeviceWornOutError(
+                            "free pool exhausted with "
+                            f"{self.flash.retired_block_count} blocks "
+                            f"retired and {self.flash.bad_page_count} "
+                            "bad pages; media wear has consumed the "
+                            "over-provisioned capacity")
                     raise OutOfSpaceError(
                         "free pool exhausted and no collectible blocks")
                 break
@@ -381,26 +389,34 @@ class BaseFTL(abc.ABC):
             ) if block is not None
         }
         return [block for block in self.flash.blocks
-                if not block.is_free and block not in active]
+                if not block.is_free
+                and block.kind is not BlockKind.RETIRED
+                and block not in active]
 
     def _select_victim(self) -> Optional[Block]:
         return self.victim_policy.select(self._gc_candidates(),
                                          now_seq=self.flash.op_seq)
 
     def _collect(self, victim: Block, result: AccessResult) -> None:
-        if victim.kind is BlockKind.DATA:
+        kind = victim.kind
+        if kind is BlockKind.DATA:
             self._collect_data_block(victim, result)
-        elif victim.kind is BlockKind.TRANSLATION:
+        elif kind is BlockKind.TRANSLATION:
             self._collect_translation_block(victim, result)
         else:  # pragma: no cover - selection excludes free blocks
             raise FTLError(f"cannot collect free block {victim.block_id}")
-        self.flash.erase(victim.block_id)
-        result.erases += 1
+        # valid pages are migrated either way; a failed erase just means
+        # the victim retires instead of rejoining the free pool.
+        if self.flash.erase(victim.block_id):
+            result.erases += 1
+            if kind is BlockKind.DATA:
+                self.metrics.erases_data += 1
+            else:
+                self.metrics.erases_translation += 1
 
     def _collect_data_block(self, victim: Block,
                             result: AccessResult) -> None:
         self.metrics.gc_data_collections += 1
-        self.metrics.erases_data += 1
         offsets = victim.valid_offsets()
         self.metrics.gc_data_valid_migrated += len(offsets)
         moved_by_vtpn: Dict[int, List[Tuple[int, int]]] = {}
@@ -447,7 +463,6 @@ class BaseFTL(abc.ABC):
     def _collect_translation_block(self, victim: Block,
                                    result: AccessResult) -> None:
         self.metrics.gc_translation_collections += 1
-        self.metrics.erases_translation += 1
         offsets = victim.valid_offsets()
         self.metrics.gc_trans_valid_migrated += len(offsets)
         for offset in offsets:

@@ -33,6 +33,12 @@ class BlockFTL(BaseFTL):
             raise ConfigError(
                 "BlockFTL needs logical_pages to be a multiple of "
                 "pages_per_block")
+        if config.ssd.program_fail_rate > 0:
+            raise ConfigError(
+                "BlockFTL cannot run under program-fault injection: its "
+                "rigid block mapping needs full, offset-aligned blocks, "
+                "which bad pages break (read/erase faults and power "
+                "loss are supported)")
         #: logical block -> physical block id
         self.block_map: List[int] = []
         super().__init__(config, victim_policy=victim_policy,
@@ -93,9 +99,10 @@ class BlockFTL(BaseFTL):
         self.block_map[lbn] = self.flash.block_id_of(
             self.flash_table[base_lpn])
         # the old block is now fully invalid: reclaim it immediately
-        self.flash.erase(old_block)
-        result.erases += 1
-        self.metrics.erases_data += 1
+        # (False means an injected erase failure retired it instead)
+        if self.flash.erase(old_block):
+            result.erases += 1
+            self.metrics.erases_data += 1
         self.metrics.gc_data_collections += 1
 
     # ------------------------------------------------------------------

@@ -46,6 +46,12 @@ class HybridFTL(BaseFTL):
             raise ConfigError(
                 "HybridFTL needs logical_pages to be a multiple of "
                 "pages_per_block")
+        if config.ssd.program_fail_rate > 0:
+            raise ConfigError(
+                "HybridFTL cannot run under program-fault injection: "
+                "its block-mapped data area needs full, offset-aligned "
+                "blocks, which bad pages break (read/erase faults and "
+                "power loss are supported)")
         if log_blocks < 1:
             raise ConfigError("log_blocks must be >= 1")
         self.max_log_blocks = log_blocks
@@ -108,14 +114,17 @@ class HybridFTL(BaseFTL):
                 self._merge_oldest(result)
             frontier = self.flash.allocate_block(BlockKind.DATA)
             self._log_frontier = frontier
-        # supersede the previous version of this page
+        # program the new version first, then invalidate the superseded
+        # copy: a power cut between the two cannot split the pair (the
+        # invalidation is out-of-band bookkeeping, not a flash op), and
+        # the reverse order would lose the page if power died after the
+        # invalidate but before the program.
         old = self.log_map.get(lpn)
-        if old is not None:
-            self.flash.invalidate(old)
-        else:
-            self.flash.invalidate(self._data_ppn(lpn))
+        if old is None:
+            old = self._data_ppn(lpn)
         ppn = self.flash.program_into(frontier, PageKind.DATA, lpn)
         result.data_writes += 1
+        self.flash.invalidate(old)
         self.log_map[lpn] = ppn
         self.flash_table[lpn] = ppn
 
@@ -133,9 +142,9 @@ class HybridFTL(BaseFTL):
             lbn = first_lpn // ppb
             old_data = self.block_map[lbn]
             self._invalidate_remaining(old_data)
-            self.flash.erase(old_data)
-            result.erases += 1
-            self.metrics.erases_data += 1
+            if self.flash.erase(old_data):
+                result.erases += 1
+                self.metrics.erases_data += 1
             self.block_map[lbn] = victim_id
             for offset in range(ppb):
                 self.log_map.pop(lbn * ppb + offset, None)
@@ -150,9 +159,9 @@ class HybridFTL(BaseFTL):
         for lbn in sorted(lbns):
             self._full_merge(lbn, result)
         # all its pages are now invalid
-        self.flash.erase(victim_id)
-        result.erases += 1
-        self.metrics.erases_data += 1
+        if self.flash.erase(victim_id):
+            result.erases += 1
+            self.metrics.erases_data += 1
         self.metrics.gc_data_collections += 1
         self.merges_full += 1
 
@@ -187,18 +196,20 @@ class HybridFTL(BaseFTL):
             result.data_reads += 1
             result.gc_data_reads += 1
             self.metrics.data_reads_migration += 1
-            self.flash.invalidate(src)
+            # program before invalidating, as in _append_to_log: the old
+            # copy must stay valid until the new one exists on flash.
             ppn = self.flash.program_into(new_block, PageKind.DATA, lpn)
             result.data_writes += 1
+            self.flash.invalidate(src)
             result.gc_data_writes += 1
             self.metrics.data_writes_migration += 1
             self.flash_table[lpn] = ppn
             self.log_map.pop(lpn, None)
         self.block_map[lbn] = new_block.block_id
         if self.flash.blocks[old_data].valid_count == 0:
-            self.flash.erase(old_data)
-            result.erases += 1
-            self.metrics.erases_data += 1
+            if self.flash.erase(old_data):
+                result.erases += 1
+                self.metrics.erases_data += 1
 
     def _invalidate_remaining(self, block_id: int) -> None:
         block = self.flash.blocks[block_id]

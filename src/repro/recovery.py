@@ -55,7 +55,9 @@ def scan_flash(flash: FlashMemory, logical_pages: int) -> RecoveredState:
     data_mapping = [UNMAPPED] * logical_pages
     gtd: Dict[int, int] = {}
     for block in flash.blocks:
-        if block.kind is BlockKind.FREE:
+        # retired blocks hold no live data: their valid pages were
+        # migrated before the erase that retired them.
+        if block.kind is BlockKind.FREE or block.kind is BlockKind.RETIRED:
             continue
         for offset in range(block.pages_per_block):
             if block.state(offset) is not PageState.VALID:

@@ -36,6 +36,9 @@ class RunResult:
     service_time_us: float = 0.0
     #: victim blocks collected during host idle time
     background_collections: int = 0
+    #: reliability counters from FlashStats.fault_summary() (injected
+    #: faults, ECC retries, retired blocks); all zero on a healthy run
+    faults: dict = dataclasses.field(default_factory=dict)
 
     @property
     def gc_time_fraction(self) -> float:
@@ -54,6 +57,7 @@ class RunResult:
             "mean_response_us": self.response.mean,
             "makespan_us": self.makespan,
         })
+        data.update(self.faults)
         return data
 
 
@@ -144,6 +148,7 @@ class SSDevice:
             gc_time_us=gc_time,
             service_time_us=service_total,
             background_collections=background_collections,
+            faults=self.ftl.flash.stats.fault_summary(),
         )
 
 

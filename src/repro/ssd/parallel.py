@@ -79,4 +79,5 @@ class ChannelSSDevice:
             response=response,
             sampler=None,
             makespan=makespan,
+            faults=self.ftl.flash.stats.fault_summary(),
         )

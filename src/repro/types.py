@@ -44,12 +44,14 @@ class PageState(enum.Enum):
     """Lifecycle of a physical flash page.
 
     NAND pages move strictly FREE -> VALID -> INVALID and only an erase of
-    the whole block returns them to FREE.
+    the whole block returns them to FREE.  A page whose program failed is
+    marked BAD; erases skip it and it never returns to FREE.
     """
 
     FREE = 0
     VALID = 1
     INVALID = 2
+    BAD = 3
 
 
 class PageKind(enum.Enum):
@@ -70,6 +72,9 @@ class BlockKind(enum.Enum):
     FREE = "free"
     DATA = "data"
     TRANSLATION = "translation"
+    #: permanently out of service (erase failure or bad-page wear-out);
+    #: never allocated, never collected, skipped by recovery scans.
+    RETIRED = "retired"
 
 
 @dataclass(frozen=True)

@@ -7,7 +7,8 @@ from repro import errors
 
 @pytest.mark.parametrize("exc", [
     errors.ConfigError, errors.FlashError, errors.ProgramError,
-    errors.EraseError, errors.OutOfSpaceError, errors.CacheError,
+    errors.EraseError, errors.OutOfSpaceError, errors.ReadError,
+    errors.DeviceWornOutError, errors.PowerLossError, errors.CacheError,
     errors.CacheCapacityError, errors.FTLError, errors.TranslationError,
     errors.WorkloadError, errors.ExperimentError,
 ])
@@ -19,6 +20,18 @@ def test_flash_sub_hierarchy():
     assert issubclass(errors.ProgramError, errors.FlashError)
     assert issubclass(errors.EraseError, errors.FlashError)
     assert issubclass(errors.OutOfSpaceError, errors.FlashError)
+    assert issubclass(errors.ReadError, errors.FlashError)
+    assert issubclass(errors.DeviceWornOutError, errors.FlashError)
+    assert issubclass(errors.PowerLossError, errors.FlashError)
+
+
+def test_reliability_errors_catchable_as_flash_errors():
+    """Callers that guard flash operations with ``except FlashError``
+    must see the fault-injection errors too."""
+    for exc in (errors.ReadError, errors.DeviceWornOutError,
+                errors.PowerLossError):
+        with pytest.raises(errors.FlashError):
+            raise exc("x")
 
 
 def test_cache_sub_hierarchy():

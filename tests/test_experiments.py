@@ -69,6 +69,7 @@ class TestRegistry:
                     "fig10"}
         assert expected <= set(EXPERIMENTS)
         assert "modelcheck" in EXPERIMENTS  # extension
+        assert "faults" in EXPERIMENTS  # extension
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(ExperimentError):
@@ -219,3 +220,16 @@ class TestExtensionExperiments:
         for payload in cells.values():
             assert 0.0 <= payload["hit_ratio"] <= 1.0
             assert 0.0 <= payload["accuracy"] <= 1.0
+
+    def test_faults_runs(self):
+        from repro.ftl import FTL_NAMES
+        result = run_experiment("faults", MICRO)
+        assert len(result.rows) == len(FTL_NAMES)
+        for row in result.rows:
+            assert row[-1] in ("healthy", "worn out")
+        power = result.data["powerloss"]
+        assert set(power) == set(FTL_NAMES)
+        for payload in power.values():
+            # every cut point in the sweep fired and was verified
+            assert payload["cut_points"] >= 50
+            assert payload["cuts_fired"] == payload["cut_points"]

@@ -50,6 +50,45 @@ class TestScan:
         with pytest.raises(FTLError):
             scan_flash(ftl.flash, ftl.ssd.logical_pages)
 
+    def test_negative_lpn_detected(self, tiny_config):
+        ftl = make_ftl("optimal", tiny_config)
+        from repro.types import PageKind
+        ftl.flash.program(PageKind.DATA, meta=-1)
+        with pytest.raises(FTLError):
+            scan_flash(ftl.flash, ftl.ssd.logical_pages)
+
+    def test_gtd_double_claim_detected(self, tiny_config):
+        """Two valid translation pages claiming one VTPN make recovery
+        ambiguous, exactly like a duplicate LPN."""
+        ftl = make_ftl("dftl", tiny_config)
+        from repro.types import PageKind
+        # the prefilled device already has a page for VTPN 0
+        ftl.flash.program(PageKind.TRANSLATION, meta=0)
+        with pytest.raises(FTLError, match="VTPN 0"):
+            scan_flash(ftl.flash, ftl.ssd.logical_pages)
+
+    def test_retired_blocks_are_skipped(self, tiny_config):
+        """A retired block's leftover page states must not pollute the
+        scan (its live data was migrated before retirement)."""
+        ftl = make_ftl("dftl", tiny_config)
+        stress(ftl, steps=200, seed=9)
+        # force-retire exactly one GC victim: its erase "fails"
+        fails = iter([True])
+        ftl.flash.injector.erase_fails = (
+            lambda: next(fails, False))
+        stress(ftl, steps=200, seed=10)
+        assert ftl.flash.retired_block_count == 1
+        verify_recovery(ftl)
+
+    def test_verify_recovery_raises_on_forged_mismatch(self, tiny_config):
+        ftl = make_ftl("optimal", tiny_config)
+        stress(ftl, steps=100, seed=2)
+        # desynchronise the live table from flash
+        ftl.flash_table[0], ftl.flash_table[1] = (
+            ftl.flash_table[1], ftl.flash_table[0])
+        with pytest.raises(FTLError, match="mismatch"):
+            verify_recovery(ftl)
+
 
 class TestReport:
     def test_clean_cache_has_no_stale_entries(self, tiny_config):
