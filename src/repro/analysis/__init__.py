@@ -1,0 +1,35 @@
+"""Correctness tooling for the reproduction: lint pass + FTLSan.
+
+Two pillars, both specific to this codebase:
+
+* :mod:`repro.analysis.lint` — an AST-based lint pass (rules ``TP001``
+  – ``TP006``) enforcing the project's structural rules over ``src/``:
+  determinism (no unseeded randomness, no wall clock), typed errors
+  instead of bare ``assert``, frozen configs stay frozen, ``__slots__``
+  on cache nodes, and all flash page traffic routed through
+  :class:`~repro.flash.FlashMemory`.  Run it as
+  ``python -m repro.analysis lint src``.
+* :mod:`repro.analysis.sanitizer` — FTLSan, a config-gated runtime
+  checker (rules ``SAN001``–``SAN009``) validating the paper's §4.2 /
+  §4.4 / §4.5 invariants and a shadow page map against live simulator
+  state, at a configurable sampling interval.
+
+See ``docs/architecture.md`` ("Static analysis & sanitizers") for the
+full rule tables.
+"""
+
+from __future__ import annotations
+
+from .checkers import SAN_RULES
+from .lint import Finding, RULES, lint_paths, lint_source
+from .sanitizer import FTLSan, attach
+
+__all__ = [
+    "FTLSan",
+    "Finding",
+    "RULES",
+    "SAN_RULES",
+    "attach",
+    "lint_paths",
+    "lint_source",
+]

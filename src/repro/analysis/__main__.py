@@ -1,0 +1,101 @@
+"""Command-line entry point: ``python -m repro.analysis``.
+
+Subcommands:
+
+* ``lint [paths...]`` — run the TP-rule AST lint pass (default target:
+  ``src``).  Exits non-zero when findings outside the committed
+  baseline exist; ``--write-baseline`` regenerates the baseline from
+  the current findings instead.
+* ``rules`` — print every TP lint rule and SAN sanitizer rule with its
+  one-line description.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from .checkers import SAN_RULES
+from .lint import (RULES, lint_paths, load_baseline, partition_findings,
+                   write_baseline)
+
+#: default baseline location, relative to the invocation directory
+DEFAULT_BASELINE = ".analysis-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific static analysis (TP rules) and "
+                    "rule listing for the FTLSan runtime sanitizer.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    lint = sub.add_parser(
+        "lint", help="run the AST lint pass over Python sources")
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)")
+    lint.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings "
+             f"(default: {DEFAULT_BASELINE})")
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every finding as new")
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from the current findings and exit 0")
+    sub.add_parser(
+        "rules", help="list every TP lint rule and SAN sanitizer rule")
+    return parser
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    findings = lint_paths(args.paths)
+    baseline_path = pathlib.Path(args.baseline)
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(f"wrote {len(findings)} finding(s) to {baseline_path}")
+        return 0
+    baseline = (set() if args.no_baseline
+                else load_baseline(baseline_path))
+    new, grandfathered = partition_findings(findings, baseline)
+    for finding in new:
+        print(finding.render())
+    if grandfathered:
+        print(f"({len(grandfathered)} grandfathered finding(s) "
+              f"suppressed by {baseline_path})")
+    stale = baseline - {f.key for f in findings}
+    if stale:
+        print(f"note: {len(stale)} baseline entr(ies) no longer "
+              "triggered; consider --write-baseline")
+    if new:
+        print(f"{len(new)} new finding(s)")
+        return 1
+    print(f"lint clean: {len(findings)} finding(s), all grandfathered"
+          if findings else "lint clean")
+    return 0
+
+
+def _run_rules() -> int:
+    print("TP lint rules (python -m repro.analysis lint):")
+    for code in sorted(RULES):
+        print(f"  {code}  {RULES[code]}")
+    print()
+    print("SAN sanitizer rules (config.sanitizer / FTLSan):")
+    for code in sorted(SAN_RULES):
+        print(f"  {code}  {SAN_RULES[code]}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Parse arguments and dispatch; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "lint":
+        return _run_lint(args)
+    return _run_rules()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,12 +6,21 @@ head, the LRU end the tail — matching the paper's figures, which draw the
 hottest node leftmost.
 
 Subclassing ``LRUNode`` lets FTLs hang their payloads directly on the list
-node, avoiding a second dictionary lookup on the hot path.
+node, avoiding a second dictionary lookup on the hot path.  Both
+containers are generic (``LRUList[NodeType]``, ``LRUDict[Key, Value]``)
+so callers get precise element types without casts.
+
+Misuse (double-insert, removing an unlinked node) raises
+:class:`~repro.errors.SimInvariantError` — unlike the bare asserts this
+module used to carry, the checks survive ``python -O``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generic, Hashable, Iterator, Optional, TypeVar
+from typing import (Dict, Generic, Hashable, Iterator, Optional, Tuple,
+                    TypeVar, cast)
+
+from ..errors import SimInvariantError
 
 
 class LRUNode:
@@ -29,7 +38,10 @@ class LRUNode:
         return self.prev is not None
 
 
-class LRUList:
+N = TypeVar("N", bound=LRUNode)
+
+
+class LRUList(Generic[N]):
     """Doubly linked list with sentinels; head = MRU, tail = LRU."""
 
     __slots__ = ("_head", "_tail", "_size")
@@ -48,85 +60,90 @@ class LRUList:
         return self._size > 0
 
     @property
-    def mru(self) -> Optional[LRUNode]:
+    def mru(self) -> Optional[N]:
         """The most-recently-used node, or None when empty."""
         node = self._head.next
-        return node if node is not self._tail else None
+        return cast(N, node) if node is not self._tail else None
 
     @property
-    def lru(self) -> Optional[LRUNode]:
+    def lru(self) -> Optional[N]:
         """The least-recently-used node, or None when empty."""
         node = self._tail.prev
-        return node if node is not self._head else None
+        return cast(N, node) if node is not self._head else None
 
-    def prev_of(self, node: LRUNode) -> Optional[LRUNode]:
+    def prev_of(self, node: N) -> Optional[N]:
         """Neighbour toward the MRU end, or None at the head."""
         prev = node.prev
-        return prev if prev is not self._head else None
+        return cast(N, prev) if prev is not self._head else None
 
-    def next_of(self, node: LRUNode) -> Optional[LRUNode]:
+    def next_of(self, node: N) -> Optional[N]:
         """Neighbour toward the LRU end, or None at the tail."""
         nxt = node.next
-        return nxt if nxt is not self._tail else None
+        return cast(N, nxt) if nxt is not self._tail else None
 
-    def push_mru(self, node: LRUNode) -> None:
+    def push_mru(self, node: N) -> None:
         """Insert an unlinked node at the MRU end."""
-        assert not node.linked, "node is already in a list"
+        self._require_unlinked(node)
         self._insert_after(self._head, node)
 
-    def push_lru(self, node: LRUNode) -> None:
+    def push_lru(self, node: N) -> None:
         """Insert an unlinked node at the LRU end."""
-        assert not node.linked, "node is already in a list"
-        self._insert_after(self._tail.prev, node)  # type: ignore[arg-type]
+        self._require_unlinked(node)
+        self._insert_after(cast(LRUNode, self._tail.prev), node)
 
-    def insert_before(self, anchor: LRUNode, node: LRUNode) -> None:
+    def insert_before(self, anchor: N, node: N) -> None:
         """Insert ``node`` immediately toward-MRU of ``anchor``."""
-        assert not node.linked, "node is already in a list"
-        assert anchor.linked or anchor is self._tail
-        self._insert_after(anchor.prev, node)  # type: ignore[arg-type]
+        self._require_unlinked(node)
+        if not anchor.linked and anchor is not self._tail:
+            raise SimInvariantError(
+                "insert_before anchor is not in the list")
+        self._insert_after(cast(LRUNode, anchor.prev), node)
 
-    def remove(self, node: LRUNode) -> None:
+    def remove(self, node: N) -> None:
         """Unlink a node from the list."""
-        assert node.linked, "node is not in a list"
-        prev, nxt = node.prev, node.next
-        assert prev is not None and nxt is not None
+        if not node.linked:
+            raise SimInvariantError("cannot remove an unlinked node")
+        prev = cast(LRUNode, node.prev)
+        nxt = cast(LRUNode, node.next)
         prev.next = nxt
         nxt.prev = prev
         node.prev = node.next = None
         self._size -= 1
 
-    def move_to_mru(self, node: LRUNode) -> None:
+    def move_to_mru(self, node: N) -> None:
         """Unlink the node and reinsert it at the MRU end."""
         self.remove(node)
         self.push_mru(node)
 
-    def pop_lru(self) -> Optional[LRUNode]:
+    def pop_lru(self) -> Optional[N]:
         """Remove and return the LRU node (None when empty)."""
         node = self.lru
         if node is not None:
             self.remove(node)
         return node
 
-    def __iter__(self) -> Iterator[LRUNode]:
+    def __iter__(self) -> Iterator[N]:
         """Iterate from MRU to LRU; do not mutate while iterating."""
-        node = self._head.next
+        node = cast(LRUNode, self._head.next)
         while node is not self._tail:
-            assert node is not None
-            yield node
-            node = node.next
+            yield cast(N, node)
+            node = cast(LRUNode, node.next)
 
-    def iter_lru(self) -> Iterator[LRUNode]:
+    def iter_lru(self) -> Iterator[N]:
         """Iterate from LRU to MRU; safe against removing the *yielded*
         node only after advancing, so collect victims first if evicting."""
-        node = self._tail.prev
+        node = cast(LRUNode, self._tail.prev)
         while node is not self._head:
-            assert node is not None
-            yield node
-            node = node.prev
+            yield cast(N, node)
+            node = cast(LRUNode, node.prev)
 
-    def _insert_after(self, anchor: LRUNode, node: LRUNode) -> None:
-        nxt = anchor.next
-        assert nxt is not None
+    @staticmethod
+    def _require_unlinked(node: LRUNode) -> None:
+        if node.linked:
+            raise SimInvariantError("node is already in a list")
+
+    def _insert_after(self, anchor: LRUNode, node: N) -> None:
+        nxt = cast(LRUNode, anchor.next)
         node.prev = anchor
         node.next = nxt
         anchor.next = node
@@ -135,20 +152,21 @@ class LRUList:
 
 
 K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
 
 
-class KeyedNode(LRUNode, Generic[K]):
+class KeyedNode(LRUNode, Generic[K, V]):
     """List node that remembers its key and an arbitrary value."""
 
     __slots__ = ("key", "value")
 
-    def __init__(self, key: K, value) -> None:
+    def __init__(self, key: K, value: V) -> None:
         super().__init__()
         self.key = key
         self.value = value
 
 
-class LRUDict(Generic[K]):
+class LRUDict(Generic[K, V]):
     """Dictionary with LRU ordering: O(1) get/put/evict.
 
     This is the classic CMT shape (DFTL) and also serves S-FTL's
@@ -159,8 +177,8 @@ class LRUDict(Generic[K]):
     __slots__ = ("_map", "_list")
 
     def __init__(self) -> None:
-        self._map: Dict[K, KeyedNode[K]] = {}
-        self._list = LRUList()
+        self._map: Dict[K, KeyedNode[K, V]] = {}
+        self._list: LRUList[KeyedNode[K, V]] = LRUList()
 
     def __len__(self) -> int:
         return len(self._map)
@@ -168,7 +186,7 @@ class LRUDict(Generic[K]):
     def __contains__(self, key: K) -> bool:
         return key in self._map
 
-    def get(self, key: K, touch: bool = True):
+    def get(self, key: K, touch: bool = True) -> Optional[V]:
         """Return the value for ``key`` (or None); bump recency if asked."""
         node = self._map.get(key)
         if node is None:
@@ -177,11 +195,11 @@ class LRUDict(Generic[K]):
             self._list.move_to_mru(node)
         return node.value
 
-    def node(self, key: K) -> Optional[KeyedNode[K]]:
+    def node(self, key: K) -> Optional[KeyedNode[K, V]]:
         """The internal node for ``key`` without touching recency."""
         return self._map.get(key)
 
-    def put(self, key: K, value) -> None:
+    def put(self, key: K, value: V) -> None:
         """Insert or update ``key`` at the MRU position."""
         node = self._map.get(key)
         if node is None:
@@ -197,7 +215,7 @@ class LRUDict(Generic[K]):
         node = self._map[key]
         self._list.move_to_mru(node)
 
-    def remove(self, key: K):
+    def remove(self, key: K) -> V:
         """Remove and return the value for ``key`` (KeyError if absent)."""
         node = self._map.pop(key)
         self._list.remove(node)
@@ -206,25 +224,27 @@ class LRUDict(Generic[K]):
     def lru_key(self) -> Optional[K]:
         """The key at the LRU end, or None when empty."""
         node = self._list.lru
-        return node.key if node is not None else None  # type: ignore
+        return node.key if node is not None else None
 
-    def pop_lru(self):
+    def pop_lru(self) -> Optional[Tuple[K, V]]:
         """Remove and return the ``(key, value)`` at the LRU end."""
         node = self._list.pop_lru()
         if node is None:
             return None
-        assert isinstance(node, KeyedNode)
         del self._map[node.key]
         return node.key, node.value
 
     def keys_mru_to_lru(self) -> Iterator[K]:
         """Iterate keys from most to least recent."""
         for node in self._list:
-            assert isinstance(node, KeyedNode)
             yield node.key
+
+    def items_mru_to_lru(self) -> Iterator[Tuple[K, V]]:
+        """Iterate ``(key, value)`` pairs from most to least recent."""
+        for node in self._list:
+            yield node.key, node.value
 
     def keys_lru_to_mru(self) -> Iterator[K]:
         """Iterate keys from least to most recent."""
         for node in self._list.iter_lru():
-            assert isinstance(node, KeyedNode)
             yield node.key

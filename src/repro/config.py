@@ -344,6 +344,43 @@ class TPFTLConfig:
 
 
 @dataclass(frozen=True)
+class SanitizerConfig:
+    """Switches for FTLSan, the runtime invariant sanitizer.
+
+    When ``enabled``, every FTL installs a
+    :class:`~repro.analysis.sanitizer.FTLSan` instance that checks the
+    paper's structural invariants (§4.2/§4.4/§4.5 plus the flash state
+    machine and shadow-map consistency) as the workload runs.  Checks
+    fire every ``interval`` host page operations; the expensive
+    whole-state checkers additionally run only every ``full_every``-th
+    check (``1`` = every check).  ``rules`` restricts checking to the
+    given SAN rule codes (``None`` = all rules).
+    """
+
+    enabled: bool = False
+    #: run sampled checks every this many host page operations
+    interval: int = 1
+    #: run whole-state (O(device)) checkers every this many checks
+    full_every: int = 64
+    #: restrict to these SAN rule codes, or None for every rule
+    rules: Optional[frozenset] = None
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ConfigError("sanitizer interval must be >= 1")
+        if self.full_every < 1:
+            raise ConfigError("sanitizer full_every must be >= 1")
+        if self.rules is not None and not isinstance(self.rules,
+                                                     frozenset):
+            object.__setattr__(  # tp: allow=TP004 - frozen-field coercion
+                self, "rules", frozenset(self.rules))
+
+    def wants(self, code: str) -> bool:
+        """True when rule ``code`` is enabled under this config."""
+        return self.rules is None or code in self.rules
+
+
+@dataclass(frozen=True)
 class SimulationConfig:
     """Top-level bundle handed to the device model."""
 
@@ -353,6 +390,8 @@ class SimulationConfig:
     #: sample the cache distribution every this many user page accesses
     #: (0 disables sampling); the paper samples every 10,000.
     sample_interval: int = 0
+    #: runtime invariant checking (off by default: zero overhead)
+    sanitizer: SanitizerConfig = field(default_factory=SanitizerConfig)
 
     def resolved_cache(self) -> CacheConfig:
         """The cache config, defaulting to the paper's §5.1 sizing rule."""

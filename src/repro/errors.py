@@ -83,6 +83,36 @@ class FTLError(ReproError):
     """An FTL-level invariant was violated (simulator bug)."""
 
 
+class SimInvariantError(ReproError):
+    """A structural invariant of the simulator was violated.
+
+    Raised where the code used to rely on bare ``assert`` statements:
+    unlike those, these checks survive ``python -O`` and carry enough
+    context to debug.  Seeing one always means a simulator bug, never a
+    user error.
+    """
+
+
+class SanitizerError(ReproError):
+    """FTLSan detected a broken runtime invariant (see ``repro.analysis``).
+
+    Carries the sanitizer rule code (e.g. ``"SAN005"`` for the §4.5
+    prefetch-boundary rule) and the host operation sequence number at
+    which the violation was detected, so a failing run can be replayed
+    deterministically up to the offending operation.
+    """
+
+    def __init__(self, code: str, message: str,
+                 op_seq: "int | None" = None) -> None:
+        prefix = f"[{code}" + (f" @ op {op_seq}" if op_seq is not None
+                               else "") + "] "
+        super().__init__(prefix + message)
+        #: sanitizer rule code, e.g. ``"SAN001"``
+        self.code = code
+        #: host page-operation sequence number at detection time
+        self.op_seq = op_seq
+
+
 class TranslationError(FTLError):
     """Address translation failed: the LPN has no mapping anywhere."""
 

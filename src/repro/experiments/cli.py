@@ -75,9 +75,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         json_dir = Path(args.json)
         json_dir.mkdir(parents=True, exist_ok=True)
     for experiment_id in ids:
-        started = time.time()
+        started = time.time()  # tp: allow=TP002 - CLI progress display
         result = run_experiment(experiment_id, scale)
-        elapsed = time.time() - started
+        elapsed = time.time() - started  # tp: allow=TP002 - CLI progress display
         print(result.render())
         print(f"({elapsed:.1f}s)\n")
         if json_dir is not None:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..metrics import labelled_sparkline
+from ..errors import SimInvariantError
 from .common import (ExperimentResult, ExperimentScale, WORKLOADS,
                      run_one)
 
@@ -28,7 +29,8 @@ def run_fig1a(scale: ExperimentScale) -> ExperimentResult:
     for workload in WORKLOADS:
         result = run_one(workload, "dftl", scale,
                          sample_interval=scale.sample_interval)
-        assert result.sampler is not None
+        if result.sampler is None:  # pragma: no cover - run_one samples
+            raise SimInvariantError("run_one returned no sampler")
         series = result.sampler.entries_per_page_series()
         means = [value for _, value in series]
         rows.append([
@@ -61,7 +63,8 @@ def run_fig1b(scale: ExperimentScale) -> ExperimentResult:
     for workload in WRITE_DOMINANT:
         result = run_one(workload, "dftl", scale,
                          sample_interval=scale.sample_interval)
-        assert result.sampler is not None
+        if result.sampler is None:  # pragma: no cover - run_one samples
+            raise SimInvariantError("run_one returned no sampler")
         sampler = result.sampler
         multi_dirty = sampler.fraction_pages_with_dirty_above(1)
         mean_dirty = sampler.mean_dirty_per_page()

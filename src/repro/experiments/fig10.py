@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ..errors import SimInvariantError
 from .common import (ExperimentResult, ExperimentScale, WORKLOADS,
                      build_workload, run_one)
 
@@ -36,7 +37,8 @@ def run(scale: ExperimentScale) -> ExperimentResult:
                 result = run_one(workload, ftl_name, scale,
                                  cache_fraction=fraction, trace=trace,
                                  sample_interval=scale.sample_interval)
-                assert result.sampler is not None
+                if result.sampler is None:  # pragma: no cover - run_one samples
+                    raise SimInvariantError("run_one returned no sampler")
                 samples = result.sampler.samples
                 mean_entries = (sum(s.cached_entries for s in samples)
                                 / len(samples)) if samples else 0.0

@@ -14,6 +14,7 @@ from typing import List
 
 from ..metrics import labelled_sparkline
 from ..types import Trace
+from ..errors import SimInvariantError
 from .common import (ExperimentResult, ExperimentScale, build_workload,
                      run_one)
 
@@ -74,7 +75,8 @@ def run_fig2b(scale: ExperimentScale) -> ExperimentResult:
     """Regenerate this figure/table; see the module docstring."""
     result = run_one("financial1", "dftl", scale,
                      sample_interval=max(500, scale.sample_interval // 4))
-    assert result.sampler is not None
+    if result.sampler is None:  # pragma: no cover - run_one samples
+        raise SimInvariantError("run_one returned no sampler")
     series = result.sampler.cached_pages_series()
     counts = [count for _, count in series]
     rows: List[List[object]] = []

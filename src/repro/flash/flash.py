@@ -26,7 +26,7 @@ from typing import Deque, Dict, Iterable, List, Optional
 
 from ..config import SSDConfig
 from ..errors import (DeviceWornOutError, EraseError, FlashError,
-                      OutOfSpaceError, ReadError)
+                      OutOfSpaceError, ReadError, SimInvariantError)
 from ..faults import FaultInjector
 from ..types import BlockKind, PageKind, PageState
 from .block import Block
@@ -240,7 +240,9 @@ class FlashMemory:
             self.stats.record_ecc_recovery()
         self.stats.record_read(kind)
         meta = block.meta(offset)
-        assert meta is not None
+        if meta is None:  # pragma: no cover - valid pages carry metadata
+            raise SimInvariantError(
+                f"valid page at PPN {ppn} has no recorded metadata")
         return meta
 
     def invalidate(self, ppn: int) -> None:

@@ -23,7 +23,7 @@ implicit (no byte arrays to maintain).
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from ..config import SimulationConfig
 from ..errors import (DeviceWornOutError, FTLError, OutOfSpaceError,
@@ -36,6 +36,9 @@ from ..types import (AccessResult, BlockKind, Op, PageKind, Request,
                      UNMAPPED)
 from .gtd import GlobalTranslationDirectory
 from .mappings import TranslationGeometry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.sanitizer import FTLSan
 
 #: causes a translation-page read can be charged to
 _READ_CAUSES = ("load", "writeback", "gc", "migration")
@@ -70,6 +73,12 @@ class BaseFTL(abc.ABC):
         self.metrics = FTLMetrics()
         self.victim_policy = victim_policy or GreedyPolicy()
         self.wear_leveler = wear_leveler
+        #: FTLSan runtime checker, or None when config.sanitizer is off.
+        #: Imported lazily: repro.analysis imports FTL types for checks.
+        self.sanitizer: Optional["FTLSan"] = None
+        if config.sanitizer.enabled:
+            from ..analysis.sanitizer import FTLSan
+            self.sanitizer = FTLSan(self, config.sanitizer)
         if prefill:
             self.prefill()
 
@@ -259,6 +268,16 @@ class BaseFTL(abc.ABC):
                 self.flash.invalidate(ppn_old)
                 self._record_mapping(lpn, UNMAPPED, result)
         self._run_gc(result)
+        self._sanitize_op(lpn, op)
+
+    def _sanitize_op(self, lpn: int, op: Op) -> None:
+        """Feed one completed page operation to FTLSan (when attached).
+
+        Subclasses that override :meth:`_serve_page` wholesale must call
+        this at every exit point of their data path.
+        """
+        if self.sanitizer is not None:
+            self.sanitizer.after_op(lpn, op)
 
     # ------------------------------------------------------------------
     # Translation-page flash traffic (helpers for subclasses)

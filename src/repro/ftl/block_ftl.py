@@ -13,7 +13,8 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..config import SimulationConfig
-from ..errors import ConfigError
+from ..errors import ConfigError, FTLError
+from ..metrics import FTLMetrics
 from ..gc import VictimPolicy, WearLeveler
 from ..types import AccessResult, Op, PageKind, Request, UNMAPPED
 from .base import BaseFTL
@@ -55,7 +56,6 @@ class BlockFTL(BaseFTL):
             if lpn % ppb == 0:
                 self.block_map[lpn // ppb] = self.flash.block_id_of(ppn)
         self.flash.stats.reset()
-        from ..metrics import FTLMetrics
         self.metrics = FTLMetrics()
 
     # ------------------------------------------------------------------
@@ -64,7 +64,6 @@ class BlockFTL(BaseFTL):
     def _serve_page(self, lpn: int, op: Op, request: Optional[Request],
                     result: AccessResult) -> None:
         if op is Op.TRIM:
-            from ..errors import FTLError
             raise FTLError(
                 "BlockFTL does not support TRIM (rigid block mapping "
                 "has no per-page unmap)")
@@ -78,6 +77,7 @@ class BlockFTL(BaseFTL):
             self.flash.read(self.flash.ppn_of(old_block, offset),
                             PageKind.DATA)
             result.data_reads += 1
+            self._sanitize_op(lpn, op)
             return
         self.metrics.user_page_writes += 1
         # Copy-merge: rewrite the whole block with the new page in place.
@@ -104,6 +104,7 @@ class BlockFTL(BaseFTL):
             result.erases += 1
             self.metrics.erases_data += 1
         self.metrics.gc_data_collections += 1
+        self._sanitize_op(lpn, op)
 
     # ------------------------------------------------------------------
     # Hooks unused by this FTL (no demand cache, no translation pages)

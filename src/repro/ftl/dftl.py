@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..cache import LRUDict
 from ..config import SimulationConfig
-from ..errors import CacheCapacityError
+from ..errors import CacheCapacityError, SimInvariantError
 from ..gc import VictimPolicy, WearLeveler
 from ..types import AccessResult, Op, Request
 from .base import BaseFTL
@@ -46,7 +46,7 @@ class DFTL(BaseFTL):
                 f"cache budget leaves room for "
                 f"{self.capacity_entries} CMT entries")
         #: CMT: LPN -> [ppn, dirty]
-        self.cmt: LRUDict[int] = LRUDict()
+        self.cmt: LRUDict[int, List[int]] = LRUDict()
 
     # ------------------------------------------------------------------
     # Mapping-cache policy
@@ -70,7 +70,8 @@ class DFTL(BaseFTL):
         """Evict LRU entries until the CMT holds at most ``max_entries``."""
         while len(self.cmt) > max_entries:
             popped = self.cmt.pop_lru()
-            assert popped is not None
+            if popped is None:  # pragma: no cover - loop guard
+                raise SimInvariantError("CMT emptied during eviction")
             victim_lpn, cell = popped
             self.metrics.replacements += 1
             if cell[_DIRTY]:
@@ -109,9 +110,7 @@ class DFTL(BaseFTL):
     def cache_snapshot(self) -> List[Tuple[int, int]]:
         """(entries, dirty) per cached translation page."""
         per_page: Dict[int, List[int]] = {}
-        for lpn in self.cmt.keys_mru_to_lru():
-            cell = self.cmt.get(lpn, touch=False)
-            assert cell is not None
+        for lpn, cell in self.cmt.items_mru_to_lru():
             vtpn = self.geometry.vtpn_of(lpn)
             bucket = per_page.setdefault(vtpn, [0, 0])
             bucket[0] += 1
@@ -121,18 +120,14 @@ class DFTL(BaseFTL):
 
     def _dirty_entries_by_page(self) -> Dict[int, Dict[int, int]]:
         grouped: Dict[int, Dict[int, int]] = {}
-        for lpn in self.cmt.keys_mru_to_lru():
-            cell = self.cmt.get(lpn, touch=False)
-            assert cell is not None
+        for lpn, cell in self.cmt.items_mru_to_lru():
             if cell[_DIRTY]:
                 vtpn = self.geometry.vtpn_of(lpn)
                 grouped.setdefault(vtpn, {})[lpn] = cell[_PPN]
         return grouped
 
     def _mark_all_clean(self) -> None:
-        for lpn in self.cmt.keys_mru_to_lru():
-            cell = self.cmt.get(lpn, touch=False)
-            assert cell is not None
+        for _lpn, cell in self.cmt.items_mru_to_lru():
             cell[_DIRTY] = False
 
     @property

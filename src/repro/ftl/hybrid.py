@@ -21,7 +21,9 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..config import SimulationConfig
-from ..errors import ConfigError
+from ..errors import ConfigError, FTLError, SimInvariantError
+from ..flash.block import Block
+from ..metrics import FTLMetrics
 from ..gc import VictimPolicy, WearLeveler
 from ..types import (AccessResult, BlockKind, Op, PageKind, Request,
                      UNMAPPED)
@@ -60,7 +62,8 @@ class HybridFTL(BaseFTL):
         self.log_map: Dict[int, int] = {}
         #: log block ids, oldest first
         self.log_fifo: Deque[int] = deque()
-        self._log_frontier = None  # current partially filled log block
+        #: current partially filled log block
+        self._log_frontier: Optional[Block] = None
         super().__init__(config, victim_policy=victim_policy,
                          wear_leveler=wear_leveler, prefill=prefill)
         self.merges_full = 0
@@ -76,7 +79,6 @@ class HybridFTL(BaseFTL):
             if lpn % ppb == 0:
                 self.block_map[lpn // ppb] = self.flash.block_id_of(ppn)
         self.flash.stats.reset()
-        from ..metrics import FTLMetrics
         self.metrics = FTLMetrics()
 
     # ------------------------------------------------------------------
@@ -85,7 +87,6 @@ class HybridFTL(BaseFTL):
     def _serve_page(self, lpn: int, op: Op, request: Optional[Request],
                     result: AccessResult) -> None:
         if op is Op.TRIM:
-            from ..errors import FTLError
             raise FTLError(
                 "HybridFTL does not support TRIM (block-mapped data "
                 "area has no per-page unmap)")
@@ -96,9 +97,11 @@ class HybridFTL(BaseFTL):
             ppn = self.log_map.get(lpn, self._data_ppn(lpn))
             self.flash.read(ppn, PageKind.DATA)
             result.data_reads += 1
+            self._sanitize_op(lpn, op)
             return
         self.metrics.user_page_writes += 1
         self._append_to_log(lpn, result)
+        self._sanitize_op(lpn, op)
 
     def _data_ppn(self, lpn: int) -> int:
         ppb = self.ssd.pages_per_block
@@ -138,7 +141,8 @@ class HybridFTL(BaseFTL):
         if self._is_switchable(victim):
             # switch merge: the log block IS the new data block
             first_lpn = victim.meta(0)
-            assert first_lpn is not None
+            if first_lpn is None:  # pragma: no cover - switchable => full
+                raise SimInvariantError("switch-merge victim lost meta")
             lbn = first_lpn // ppb
             old_data = self.block_map[lbn]
             self._invalidate_remaining(old_data)
@@ -154,7 +158,8 @@ class HybridFTL(BaseFTL):
         lbns: Set[int] = set()
         for offset in victim.valid_offsets():
             lpn = victim.meta(offset)
-            assert lpn is not None
+            if lpn is None:  # pragma: no cover - valid pages carry meta
+                raise SimInvariantError("valid log page without metadata")
             lbns.add(lpn // ppb)
         for lbn in sorted(lbns):
             self._full_merge(lbn, result)
@@ -165,7 +170,7 @@ class HybridFTL(BaseFTL):
         self.metrics.gc_data_collections += 1
         self.merges_full += 1
 
-    def _is_switchable(self, victim) -> bool:
+    def _is_switchable(self, victim: Block) -> bool:
         ppb = self.ssd.pages_per_block
         if victim.valid_count != ppb:
             return False
@@ -214,7 +219,7 @@ class HybridFTL(BaseFTL):
     def _invalidate_remaining(self, block_id: int) -> None:
         block = self.flash.blocks[block_id]
         for offset in block.valid_offsets():
-            block.invalidate(offset)
+            self.flash.invalidate(self.flash.ppn_of(block_id, offset))
 
     # ------------------------------------------------------------------
     # Hooks unused by this FTL

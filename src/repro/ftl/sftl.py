@@ -94,7 +94,7 @@ class SFTL(BaseFTL):
                               if buffer_bytes >= BUFFER_ENTRY_BYTES
                               else None)
         #: page cache: VTPN -> CachedPage, LRU-ordered
-        self.pages: LRUDict[int] = LRUDict()
+        self.pages: LRUDict[int, CachedPage] = LRUDict()
         #: dirty buffer: VTPN -> {LPN -> PPN}
         self.buffer: Dict[int, Dict[int, int]] = {}
 
@@ -287,9 +287,7 @@ class SFTL(BaseFTL):
     def cache_snapshot(self) -> List[Tuple[int, int]]:
         """(entries, dirty) per cached translation page."""
         snapshot: List[Tuple[int, int]] = []
-        for vtpn in self.pages.keys_mru_to_lru():
-            page = self.pages.get(vtpn, touch=False)
-            assert page is not None
+        for vtpn, page in self.pages.items_mru_to_lru():
             snapshot.append((self.geometry.entries_in(vtpn),
                              len(page.overrides)))
         for vtpn, entries in self.buffer.items():
@@ -298,9 +296,7 @@ class SFTL(BaseFTL):
 
     def _dirty_entries_by_page(self) -> Dict[int, Dict[int, int]]:
         grouped: Dict[int, Dict[int, int]] = {}
-        for vtpn in self.pages.keys_mru_to_lru():
-            page = self.pages.get(vtpn, touch=False)
-            assert page is not None
+        for vtpn, page in self.pages.items_mru_to_lru():
             if page.overrides:
                 grouped[vtpn] = dict(page.overrides)
         for vtpn, entries in self.buffer.items():
@@ -308,9 +304,7 @@ class SFTL(BaseFTL):
         return grouped
 
     def _mark_all_clean(self) -> None:
-        for vtpn in self.pages.keys_mru_to_lru():
-            page = self.pages.get(vtpn, touch=False)
-            assert page is not None
+        for _vtpn, page in self.pages.items_mru_to_lru():
             page.overrides.clear()
         if self.buffer_budget is not None:
             parked = sum(len(v) for v in self.buffer.values())

@@ -33,7 +33,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..cache import ByteBudget, LRUList, LRUNode
 from ..config import SimulationConfig, TPFTLConfig
-from ..errors import CacheCapacityError, FTLError
+from ..errors import CacheCapacityError, FTLError, SanitizerError
 from ..gc import VictimPolicy, WearLeveler
 from ..types import AccessResult, Op, Request
 from .base import BaseFTL
@@ -63,7 +63,7 @@ class TPNode(LRUNode):
     def __init__(self, vtpn: int) -> None:
         super().__init__()
         self.vtpn = vtpn
-        self.entries = LRUList()
+        self.entries: LRUList[EntryNode] = LRUList()
         self.by_lpn: Dict[int, EntryNode] = {}
         self.hot_sum = 0
         self.dirty_count = 0
@@ -99,8 +99,7 @@ class TPNode(LRUNode):
 
     def dirty_entries(self) -> List[EntryNode]:
         """The node's dirty entry nodes, MRU to LRU."""
-        return [e for e in self.entries  # type: ignore[misc]
-                if e.dirty]  # type: ignore[attr-defined]
+        return [e for e in self.entries if e.dirty]
 
 
 class TPFTL(BaseFTL):
@@ -123,7 +122,7 @@ class TPFTL(BaseFTL):
             raise CacheCapacityError(
                 f"budget {budget_bytes}B cannot hold one TP node + entry")
         self.budget = ByteBudget(budget_bytes)
-        self.page_list = LRUList()  # hotness-ordered: head = hottest
+        self.page_list: LRUList[TPNode] = LRUList()  # hotness-ordered: head = hottest
         self.by_vtpn: Dict[int, TPNode] = {}
         #: §4.3 counter of TP-node count changes (+1 load, -1 evict)
         self.node_counter = 0
@@ -152,6 +151,8 @@ class TPFTL(BaseFTL):
         # ---- miss: one translation-page read serves the demanded entry
         # plus any prefetched ones (all within this translation page).
         prefetch_lpns = self._plan_prefetch(lpn, vtpn, request)
+        if self.sanitizer is not None:
+            self.sanitizer.note_prefetch_plan(self, lpn, prefetch_lpns)
         self.read_translation_page(vtpn, "load", result)
         demanded = self._insert_entry(lpn, self.flash_table[lpn],
                                       prefetched=False, result=result)
@@ -164,9 +165,8 @@ class TPFTL(BaseFTL):
                         result: AccessResult) -> None:
         node = self.by_vtpn.get(self.geometry.vtpn_of(lpn))
         entry = node.by_lpn.get(lpn) if node is not None else None
-        if entry is None:  # pragma: no cover - translate always installs
+        if node is None or entry is None:  # pragma: no cover - installed
             raise FTLError(f"write to LPN {lpn} without a cached entry")
-        assert node is not None
         entry.ppn = ppn
         node.set_dirty(entry, True)
         self._touch(node, entry)
@@ -224,22 +224,22 @@ class TPFTL(BaseFTL):
         hotness = node.hotness
         lst = self.page_list
         prev = lst.prev_of(node)
-        if prev is not None and prev.hotness < hotness:  # type: ignore
+        if prev is not None and prev.hotness < hotness:
             anchor = prev
             while True:
                 up = lst.prev_of(anchor)
-                if up is None or up.hotness >= hotness:  # type: ignore
+                if up is None or up.hotness >= hotness:
                     break
                 anchor = up
             lst.remove(node)
             lst.insert_before(anchor, node)
             return
         nxt = lst.next_of(node)
-        if nxt is not None and nxt.hotness > hotness:  # type: ignore
+        if nxt is not None and nxt.hotness > hotness:
             anchor = nxt
             while True:
                 down = lst.next_of(anchor)
-                if down is None or down.hotness <= hotness:  # type: ignore
+                if down is None or down.hotness <= hotness:
                     break
                 anchor = down
             lst.remove(node)
@@ -296,6 +296,8 @@ class TPFTL(BaseFTL):
         """
         allowed_victim: Optional[TPNode] = None
         restricted = False
+        if self.sanitizer is not None:
+            self.sanitizer.note_prefetch_begin()
         for lpn in lpns:
             vtpn = self.geometry.vtpn_of(lpn)
             node = self.by_vtpn.get(vtpn)
@@ -317,10 +319,11 @@ class TPFTL(BaseFTL):
             if inserted is None:
                 break
             self.metrics.prefetched_entries += 1
+        if self.sanitizer is not None:
+            self.sanitizer.note_prefetch_end()
 
     def _coldest_node(self) -> Optional[TPNode]:
-        node = self.page_list.lru
-        return node  # type: ignore[return-value]
+        return self.page_list.lru
 
     # ==================================================================
     # Insertion and replacement (§4.4)
@@ -372,7 +375,6 @@ class TPFTL(BaseFTL):
                            else self.page_list.lru)
             if victim_node is None or not len(victim_node):
                 return False
-            assert isinstance(victim_node, TPNode)
             if not self._evict_one(victim_node, result, protect=protect):
                 return False
             if only_node is not None and not only_node.linked:
@@ -391,6 +393,8 @@ class TPFTL(BaseFTL):
         victim = self._choose_victim(node, protect=protect)
         if victim is None:
             return False
+        if self.sanitizer is not None:
+            self.sanitizer.note_eviction(self, node, victim, protect)
         self.metrics.replacements += 1
         if victim.dirty:
             self.metrics.dirty_replacements += 1
@@ -404,11 +408,9 @@ class TPFTL(BaseFTL):
         """Clean-first (if enabled): LRU clean entry, else LRU entry."""
         if self.techniques.clean_first and node.dirty_count < len(node):
             for entry in node.entries.iter_lru():
-                assert isinstance(entry, EntryNode)
                 if not entry.dirty and entry is not protect:
                     return entry
         for entry in node.entries.iter_lru():
-            assert isinstance(entry, EntryNode)
             if entry is not protect:
                 return entry
         return None
@@ -430,6 +432,8 @@ class TPFTL(BaseFTL):
         node.set_dirty(victim, False)
         self.read_translation_page(node.vtpn, "writeback", result)
         self.write_translation_page(node.vtpn, updates, "writeback", result)
+        if self.sanitizer is not None:
+            self.sanitizer.note_writeback(self, node, victim)
 
     def _drop_entry(self, node: TPNode, entry: EntryNode) -> None:
         node.drop(entry)
@@ -493,28 +497,19 @@ class TPFTL(BaseFTL):
     def assert_invariants(self) -> None:
         """Check structural invariants; used by property-based tests.
 
-        The page list is hotness-ordered at insertion/access time but
-        evictions deliberately do not re-sort (see :meth:`_drop_entry`),
-        so ordering is not globally asserted here.
+        Delegates to the shared :mod:`repro.analysis.checkers` rules
+        (SAN002 structure, SAN003 hotness, SAN004 budget) so the tests
+        and FTLSan enforce the same definitions.  The page list is
+        hotness-ordered at insertion/access time but evictions
+        deliberately do not re-sort (see :meth:`_drop_entry`), so
+        ordering is not globally asserted here.
         """
-        used = 0
-        seen = 0
-        for node in self.page_list:
-            assert isinstance(node, TPNode)
-            seen += 1
-            if len(node) == 0:
-                raise FTLError(f"empty TP node {node.vtpn} in list")
-            used += self.node_bytes + len(node) * self.entry_bytes
-            dirty = sum(1 for e in node.entries
-                        if e.dirty)  # type: ignore[attr-defined]
-            if dirty != node.dirty_count:
-                raise FTLError(
-                    f"dirty_count {node.dirty_count} != actual {dirty}")
-            hot = sum(e.hot_seq for e in node.entries)  # type: ignore
-            if hot != node.hot_sum:
-                raise FTLError("hot_sum out of sync")
-        if seen != len(self.by_vtpn):
-            raise FTLError("page list and index disagree")
-        if used != self.budget.used:
-            raise FTLError(
-                f"budget accounting off: {used} != {self.budget.used}")
+        from ..analysis.checkers import (check_budget, check_hotness,
+                                         check_two_level_lru)
+
+        def fail(code: str, message: str) -> None:
+            raise SanitizerError(code, message)
+
+        check_two_level_lru(self, fail)
+        check_hotness(self, fail)
+        check_budget(self, fail)

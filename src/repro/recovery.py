@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from .errors import FTLError
+from .errors import FTLError, SimInvariantError
 from .flash import FlashMemory
 from .types import BlockKind, PageState, UNMAPPED
 
@@ -63,7 +63,10 @@ def scan_flash(flash: FlashMemory, logical_pages: int) -> RecoveredState:
             if block.state(offset) is not PageState.VALID:
                 continue
             meta = block.meta(offset)
-            assert meta is not None
+            if meta is None:  # pragma: no cover - valid pages carry meta
+                raise SimInvariantError(
+                    f"valid page in block {block.block_id} offset "
+                    f"{offset} has no recorded metadata")
             ppn = flash.ppn_of(block.block_id, offset)
             if block.kind is BlockKind.DATA:
                 if not 0 <= meta < logical_pages:

@@ -13,7 +13,8 @@ import random
 
 import pytest
 
-from repro.config import CacheConfig, SimulationConfig, SSDConfig
+from repro.config import (CacheConfig, SanitizerConfig, SimulationConfig,
+                          SSDConfig)
 from repro.types import Op, Request, Trace
 
 
@@ -33,6 +34,16 @@ def roomy_config(tiny_ssd: SSDConfig) -> SimulationConfig:
     return SimulationConfig(
         ssd=tiny_ssd,
         cache=CacheConfig(budget_bytes=2048))
+
+
+@pytest.fixture
+def sanitized_config(tiny_ssd: SSDConfig) -> SimulationConfig:
+    """Roomy config with FTLSan armed at full rate (checks every op)."""
+    return SimulationConfig(
+        ssd=tiny_ssd,
+        cache=CacheConfig(budget_bytes=2048),
+        sanitizer=SanitizerConfig(enabled=True, interval=1,
+                                  full_every=32))
 
 
 def make_trace(ops, logical_pages: int = 512, name: str = "test",
