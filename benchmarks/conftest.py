@@ -8,8 +8,11 @@ written from those files).
 
 Benchmarks run each experiment exactly once (``pedantic`` with one
 round): the interesting output is the experiment's table, not its
-wall-clock variance, and the headline runs are memoised across
-sub-figures so the whole of Fig 6 costs one matrix.
+wall-clock variance, and the headline runs are shared across
+sub-figures through the persistent run cache so the whole of Fig 6
+costs one matrix — and a warm re-run costs no simulations at all.
+``--bench-jobs N`` fans independent cells out over N processes;
+``--bench-fresh`` wipes the cache first for a cold-start measurement.
 """
 
 from __future__ import annotations
@@ -34,11 +37,39 @@ def pytest_addoption(parser):
     parser.addoption(
         "--bench-scale", choices=sorted(_SCALES), default="small",
         help="experiment scale for the benchmark suite")
+    parser.addoption(
+        "--bench-jobs", type=int, default=None,
+        help="worker processes for simulation cells "
+             "(default: $REPRO_JOBS or 1)")
+    parser.addoption(
+        "--bench-fresh", action="store_true",
+        help="wipe the persistent run cache before benchmarking")
 
 
 @pytest.fixture(scope="session")
 def scale(request) -> ExperimentScale:
     return _SCALES[request.config.getoption("--bench-scale")]
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _experiment_runner(request):
+    """Configure the shared runner and leave the bench trajectory on disk.
+
+    Cells fan out over ``--bench-jobs`` processes and persist in the run
+    cache, so a second benchmark invocation regenerates every table
+    without re-simulating; ``results/BENCH_runner.json`` records
+    per-cell wall-clock, cache hit counts and the speedup vs serial.
+    """
+    from repro.experiments.runner import configure_runner, reset_runner
+
+    runner = configure_runner(jobs=request.config.getoption("--bench-jobs"))
+    if request.config.getoption("--bench-fresh") and runner.cache is not None:
+        runner.cache.wipe()
+    yield runner
+    if runner.outcomes:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        runner.write_bench(RESULTS_DIR / "BENCH_runner.json")
+    reset_runner()
 
 
 def regenerate(benchmark, experiment_id: str,

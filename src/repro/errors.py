@@ -117,6 +117,16 @@ class TranslationError(FTLError):
     """Address translation failed: the LPN has no mapping anywhere."""
 
 
+class MetricsError(ReproError):
+    """A statistic was requested that the run did not collect.
+
+    Raised e.g. when :meth:`~repro.metrics.ResponseStats.percentile` is
+    called on stats that were aggregated without ``keep_samples=True``:
+    silently returning nothing would let a caller mistake "not measured"
+    for "no data".
+    """
+
+
 class WorkloadError(ReproError):
     """A trace could not be parsed or a generator was misconfigured."""
 

@@ -9,6 +9,10 @@ experiment ids (``table2``, ``fig6a`` ... ``fig10``) to runners; the CLI
 
 from .common import ExperimentResult, ExperimentScale, run_matrix
 from .registry import EXPERIMENTS, run_experiment
+from .runner import (ParallelRunner, RunCache, RunSpec, configure_runner,
+                     get_runner)
 
 __all__ = ["ExperimentResult", "ExperimentScale", "run_matrix",
-           "EXPERIMENTS", "run_experiment"]
+           "EXPERIMENTS", "run_experiment",
+           "ParallelRunner", "RunCache", "RunSpec", "configure_runner",
+           "get_runner"]

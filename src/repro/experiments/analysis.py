@@ -79,9 +79,15 @@ def _sweep_row(ftl_name: str, num_ops: int) -> List[object]:
 
 
 def run(scale: ExperimentScale) -> ExperimentResult:
-    """Run the FTLSan-at-full-rate sweep over every registered FTL."""
+    """Run the FTLSan-at-full-rate sweep over every registered FTL.
+
+    The per-FTL sweeps are independent and deterministic, so they fan
+    out across the default runner's process pool when ``jobs > 1``.
+    """
+    from .runner import get_runner
     num_ops = 2_500 if scale.name == "full" else 800
-    rows = [_sweep_row(name, num_ops) for name in FTL_NAMES]
+    rows = get_runner().map(_sweep_row,
+                            [(name, num_ops) for name in FTL_NAMES])
     return ExperimentResult(
         experiment_id="analysis",
         title="FTLSan full-rate invariant sweep [extension]",

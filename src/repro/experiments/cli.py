@@ -5,7 +5,13 @@ Usage::
     python -m repro.experiments fig6a fig6b      # specific experiments
     python -m repro.experiments all              # everything, in order
     python -m repro.experiments all --scale full # paper-scale runs
+    python -m repro.experiments all --jobs 8     # parallel cells
+    python -m repro.experiments all --bench BENCH_runner.json
     tpftl-experiments table2                     # installed script
+
+Finished simulation cells persist in ``results/.runcache`` (override
+with ``--cache-dir``/``$REPRO_RUNCACHE``, disable with ``--no-cache``,
+reset with ``--wipe-cache``), so re-runs only simulate what changed.
 """
 
 from __future__ import annotations
@@ -17,6 +23,7 @@ from typing import List, Optional
 
 from .common import ExperimentScale
 from .registry import EXPERIMENTS, run_experiment
+from .runner import configure_runner
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,6 +47,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", metavar="DIR", default=None,
         help="also write each result as JSON into this directory")
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for independent simulation cells "
+             "(default: $REPRO_JOBS or 1 = serial)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent run cache for this invocation")
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="run-cache directory (default: $REPRO_RUNCACHE or "
+             "results/.runcache)")
+    parser.add_argument(
+        "--wipe-cache", action="store_true",
+        help="delete every cached run before executing")
+    parser.add_argument(
+        "--bench", metavar="FILE", default=None,
+        help="write runner bench data (per-cell wall-clock, speedup vs "
+             "serial, cache hits) to this JSON file, e.g. "
+             "BENCH_runner.json")
     return parser
 
 
@@ -69,6 +95,14 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 2
     scale = resolve_scale(args)
+    runner = configure_runner(
+        jobs=args.jobs,
+        cache_dir=(False if args.no_cache
+                   else args.cache_dir if args.cache_dir is not None
+                   else True))
+    if args.wipe_cache and runner.cache is not None:
+        removed = runner.cache.wipe()
+        print(f"wiped {removed} cached runs", file=sys.stderr)
     json_dir = None
     if args.json is not None:
         from pathlib import Path
@@ -83,6 +117,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if json_dir is not None:
             path = json_dir / f"{experiment_id}_{scale.name}.json"
             path.write_text(result.to_json(), encoding="utf-8")
+    if args.bench is not None:
+        target = runner.write_bench(args.bench)
+        totals = runner.bench_report()["totals"]
+        print(f"bench: {totals['cells']} cells, "
+              f"{totals['cache_hits']} cache hits, "
+              f"speedup vs serial {totals['speedup_vs_serial']:.2f}x "
+              f"-> {target}", file=sys.stderr)
     return 0
 
 

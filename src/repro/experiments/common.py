@@ -1,10 +1,13 @@
 """Shared infrastructure for the experiment runners.
 
 The paper's Fig 6 and Fig 7(a) all derive from one matrix of runs
-(4 workloads x 4 FTLs); :func:`run_matrix` computes and memoises that
-matrix per scale so each sub-figure renders instantly once any of them
-has run.  ``ExperimentScale`` bundles the knobs that trade fidelity for
-runtime (request count, warmup, workload sizes).
+(4 workloads x 4 FTLs); :func:`run_matrix` routes that matrix through
+the default :class:`~repro.experiments.runner.ParallelRunner`, so cells
+are fanned out across processes (``--jobs``/``REPRO_JOBS``) and served
+from the persistent run cache on re-runs — each sub-figure renders
+instantly once any of them has run, even across interpreter restarts.
+``ExperimentScale`` bundles the knobs that trade fidelity for runtime
+(request count, warmup, workload sizes).
 """
 
 from __future__ import annotations
@@ -48,6 +51,13 @@ class ExperimentScale:
     cache_fractions: Sequence[float] = (1 / 128, 1 / 32, 1 / 8, 1 / 2,
                                         1.0)
     sample_interval: int = 2_000
+
+    def __post_init__(self) -> None:
+        # Normalise to a tuple so a scale built with a list is still
+        # hashable (run digests, dict keys) and compares equal to the
+        # tuple-built equivalent.
+        object.__setattr__(self, "cache_fractions",  # tp: allow=TP004 - __post_init__ normalisation
+                           tuple(self.cache_fractions))
 
     @classmethod
     def small(cls) -> "ExperimentScale":
@@ -145,43 +155,65 @@ def run_one(workload: str, ftl_name: str, scale: ExperimentScale,
             cache_fraction: Optional[float] = None,
             tpftl: Optional[TPFTLConfig] = None,
             sample_interval: int = 0,
-            trace: Optional[Trace] = None) -> RunResult:
-    """Run one (workload, FTL) cell with the paper's configuration."""
-    if trace is None:
-        trace = build_workload(workload, scale)
-    config = simulation_config(trace, cache_fraction=cache_fraction,
-                               tpftl=tpftl)
-    ftl = make_ftl(ftl_name, config)
-    return simulate(ftl, trace, sample_interval=sample_interval,
-                    warmup_requests=scale.warmup_requests)
+            trace: Optional[Trace] = None,
+            seed: Optional[int] = None) -> RunResult:
+    """Run one (workload, FTL) cell with the paper's configuration.
+
+    Without an explicit ``trace`` the cell is fully described by a
+    :class:`~repro.experiments.runner.RunSpec` and is served through the
+    default runner — i.e. from the persistent run cache when warm.  An
+    explicit ``trace`` bypasses the cache (its content is not digested).
+    """
+    if trace is not None:
+        config = simulation_config(trace, cache_fraction=cache_fraction,
+                                   tpftl=tpftl)
+        ftl = make_ftl(ftl_name, config)
+        return simulate(ftl, trace, sample_interval=sample_interval,
+                        warmup_requests=scale.warmup_requests)
+    from .runner import RunSpec, get_runner
+    spec = RunSpec(workload=workload, ftl=ftl_name, scale=scale,
+                   cache_fraction=cache_fraction, tpftl=tpftl,
+                   seed=seed, sample_interval=sample_interval)
+    return get_runner().run_specs([spec])[0]
 
 
-# Memoised matrix shared by Table 2, Fig 6(a-f) and Fig 7(a).
-_MATRIX_CACHE: Dict[Tuple, Dict[Tuple[str, str], RunResult]] = {}
+def matrix_specs(scale: ExperimentScale,
+                 workloads: Sequence[str] = WORKLOADS,
+                 ftls: Sequence[str] = HEADLINE_FTLS) -> List:
+    """The cell specs of the headline (workload x FTL) matrix."""
+    from .runner import RunSpec
+    return [RunSpec(workload=workload, ftl=ftl_name, scale=scale)
+            for workload in workloads for ftl_name in ftls]
 
 
 def run_matrix(scale: ExperimentScale,
                workloads: Sequence[str] = WORKLOADS,
                ftls: Sequence[str] = HEADLINE_FTLS
                ) -> Dict[Tuple[str, str], RunResult]:
-    """All (workload, FTL) runs of the headline evaluation, memoised."""
-    key = (scale, tuple(workloads), tuple(ftls))
-    cached = _MATRIX_CACHE.get(key)
-    if cached is not None:
-        return cached
-    matrix: Dict[Tuple[str, str], RunResult] = {}
-    for workload in workloads:
-        trace = build_workload(workload, scale)
-        for ftl_name in ftls:
-            matrix[(workload, ftl_name)] = run_one(
-                workload, ftl_name, scale, trace=trace)
-    _MATRIX_CACHE[key] = matrix
-    return matrix
+    """All (workload, FTL) runs of the headline evaluation.
+
+    Cells are served through the default
+    :class:`~repro.experiments.runner.ParallelRunner`: cached results
+    come from the persistent run cache, the rest fan out across
+    processes when the runner is configured with ``jobs > 1``.
+    """
+    specs = matrix_specs(scale, workloads, ftls)
+    from .runner import get_runner
+    results = get_runner().run_specs(specs)
+    keys = [(workload, ftl_name) for workload in workloads
+            for ftl_name in ftls]
+    return dict(zip(keys, results))
 
 
 def clear_matrix_cache() -> None:
-    """Drop memoised runs (used by tests to control memory)."""
-    _MATRIX_CACHE.clear()
+    """Drop in-process memoised runs (tests use this to control memory).
+
+    Thin shim over :func:`~repro.experiments.runner.clear_run_caches`,
+    kept for callers of the pre-runner API; the persistent on-disk cache
+    is deliberately left alone.
+    """
+    from .runner import clear_run_caches
+    clear_run_caches()
 
 
 def tpftl_variant(monogram: str) -> TPFTLConfig:

@@ -109,9 +109,18 @@ def _powerloss_row(ftl_name: str, scale: ExperimentScale) -> List[object]:
 
 
 def run(scale: ExperimentScale) -> ExperimentResult:
-    """Run the media-fault and power-loss sweeps over every FTL."""
-    media_rows = [_media_row(name, scale) for name in FTL_NAMES]
-    power_rows = [_powerloss_row(name, scale) for name in FTL_NAMES]
+    """Run the media-fault and power-loss sweeps over every FTL.
+
+    Both sweeps fan out per-FTL across the default runner's process
+    pool (they are deterministic and independent per FTL); with
+    ``jobs=1`` they run serially as before.
+    """
+    from .runner import get_runner
+    runner = get_runner()
+    media_rows = runner.map(_media_row,
+                            [(name, scale) for name in FTL_NAMES])
+    power_rows = runner.map(_powerloss_row,
+                            [(name, scale) for name in FTL_NAMES])
     return ExperimentResult(
         experiment_id="faults",
         title="Fault injection & power-loss torture [extension]",

@@ -17,28 +17,31 @@ from __future__ import annotations
 from typing import Dict, List
 
 from ..errors import SimInvariantError
-from .common import (ExperimentResult, ExperimentScale, WORKLOADS,
-                     build_workload, run_one)
+from .common import ExperimentResult, ExperimentScale, WORKLOADS
+from .runner import RunSpec, get_runner
 
 
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Replay a trace and return the measured results."""
     fractions = [f for f in scale.cache_fractions if f <= 0.25]
+    keys = [(workload, fraction, ftl_name) for workload in WORKLOADS
+            for fraction in fractions for ftl_name in ("dftl", "tpftl")]
+    specs = [RunSpec(workload=workload, ftl=ftl_name, scale=scale,
+                     cache_fraction=fraction,
+                     sample_interval=scale.sample_interval)
+             for workload, fraction, ftl_name in keys]
+    cells = dict(zip(keys, get_runner().run_specs(specs)))
     rows: List[List[object]] = []
     data: Dict[str, Dict[float, float]] = {}
     for workload in WORKLOADS:
-        trace = build_workload(workload, scale)
         row: List[object] = [workload]
         data[workload] = {}
         for fraction in fractions:
-            improvements = []
             counts = {}
             for ftl_name in ("dftl", "tpftl"):
-                result = run_one(workload, ftl_name, scale,
-                                 cache_fraction=fraction, trace=trace,
-                                 sample_interval=scale.sample_interval)
-                if result.sampler is None:  # pragma: no cover - run_one samples
-                    raise SimInvariantError("run_one returned no sampler")
+                result = cells[(workload, fraction, ftl_name)]
+                if result.sampler is None:  # pragma: no cover - specs sample
+                    raise SimInvariantError("cell returned no sampler")
                 samples = result.sampler.samples
                 mean_entries = (sum(s.cached_entries for s in samples)
                                 / len(samples)) if samples else 0.0

@@ -16,25 +16,16 @@ from typing import Dict, List
 
 from ..ssd import RunResult
 from .common import (ABLATION_CONFIGS, ExperimentResult, ExperimentScale,
-                     HEADLINE_FTLS, WORKLOADS, build_workload,
-                     run_ablation_cell, run_matrix)
-
-_ABLATION_CACHE: Dict[tuple, Dict[str, RunResult]] = {}
+                     HEADLINE_FTLS, WORKLOADS, run_matrix)
+from .runner import RunSpec, get_runner
 
 
 def ablation_runs(scale: ExperimentScale) -> Dict[str, RunResult]:
-    """All Fig 7(b,c)/8(a,b) cells on Financial1, memoised per scale."""
-    key = (scale,)
-    cached = _ABLATION_CACHE.get(key)
-    if cached is not None:
-        return cached
-    trace = build_workload("financial1", scale)
-    runs = {
-        monogram: run_ablation_cell(monogram, scale, trace=trace)
-        for monogram in ABLATION_CONFIGS
-    }
-    _ABLATION_CACHE[key] = runs
-    return runs
+    """All Fig 7(b,c)/8(a,b) cells on Financial1, via the run cache."""
+    specs = [RunSpec.for_ablation(monogram, scale)
+             for monogram in ABLATION_CONFIGS]
+    results = get_runner().run_specs(specs)
+    return dict(zip(ABLATION_CONFIGS, results))
 
 
 def run_fig7a(scale: ExperimentScale) -> ExperimentResult:

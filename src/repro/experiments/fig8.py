@@ -13,27 +13,20 @@ from typing import Dict, List
 
 from ..ssd import RunResult
 from .common import (ABLATION_CONFIGS, ExperimentResult, ExperimentScale,
-                     WORKLOADS, build_workload, run_one)
+                     WORKLOADS)
 from .fig7 import ablation_runs
-
-_SWEEP_CACHE: Dict[tuple, Dict[tuple, RunResult]] = {}
+from .runner import RunSpec, get_runner
 
 
 def cache_sweep_runs(scale: ExperimentScale) -> Dict[tuple, RunResult]:
-    """TPFTL runs per (workload, cache fraction), memoised per scale."""
-    key = (scale,)
-    cached = _SWEEP_CACHE.get(key)
-    if cached is not None:
-        return cached
-    runs: Dict[tuple, RunResult] = {}
-    for workload in WORKLOADS:
-        trace = build_workload(workload, scale)
-        for fraction in scale.cache_fractions:
-            runs[(workload, fraction)] = run_one(
-                workload, "tpftl", scale, cache_fraction=fraction,
-                trace=trace)
-    _SWEEP_CACHE[key] = runs
-    return runs
+    """TPFTL runs per (workload, cache fraction), via the run cache."""
+    keys = [(workload, fraction) for workload in WORKLOADS
+            for fraction in scale.cache_fractions]
+    specs = [RunSpec(workload=workload, ftl="tpftl", scale=scale,
+                     cache_fraction=fraction)
+             for workload, fraction in keys]
+    results = get_runner().run_specs(specs)
+    return dict(zip(keys, results))
 
 
 def run_fig8a(scale: ExperimentScale) -> ExperimentResult:

@@ -1,0 +1,629 @@
+"""Parallel experiment runner with a persistent, content-addressed run cache.
+
+The paper's evaluation (Fig 6-10, Table 2) is an embarrassingly parallel
+matrix of independent (workload x FTL x configuration) simulations.  This
+module gives the experiment layer the shape trace-driven simulators such
+as wiscsee use to stay fast:
+
+* :class:`RunSpec` — a picklable, content-addressed description of one
+  simulation cell (workload, FTL, scale, cache fraction, TPFTL config,
+  seed, sampling).  Equal specs have equal digests; changing any field
+  changes the digest.
+* :class:`RunCache` — persists each cell's :class:`~repro.ssd.RunResult`
+  as JSON under ``results/.runcache/<digest>.json``.  Entries carry a
+  schema version and a fingerprint of the simulator's source code, so a
+  cache survives interpreter restarts but never a code change.  Corrupt
+  or stale files are silently ignored and recomputed, never fatal.
+* :class:`ParallelRunner` — fans cells out over a
+  ``ProcessPoolExecutor`` (``--jobs N`` / ``REPRO_JOBS``), deduplicates
+  identical cells, consults the cache first, and records per-cell
+  wall-clock so :meth:`ParallelRunner.write_bench` can emit
+  ``BENCH_runner.json`` (wall-clock per cell, speedup vs serial, cache
+  hit counts).  With ``jobs=1`` it degrades to a plain serial loop with
+  no executor, so tests and small runs behave exactly as before.
+
+Every cell is deterministic: traces are generated from per-workload
+seeds and the simulator itself contains no unseeded randomness (the TP
+lint rules enforce this), so parallel and serial execution produce
+field-for-field identical results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import (Any, Callable, Dict, List, Optional, Sequence,
+                    Tuple)
+
+from ..config import TPFTLConfig
+from ..errors import ExperimentError
+from ..ftl import make_ftl
+from ..metrics import CacheSample, CacheSampler, FTLMetrics, ResponseStats
+from ..ssd import RunResult, simulate
+from ..types import Trace
+from ..workloads import make_preset
+from .common import ExperimentScale, simulation_config
+
+#: bump when the cache-file layout or RunResult encoding changes
+CACHE_SCHEMA = 1
+#: environment variable overriding the worker count (``--jobs`` wins)
+JOBS_ENV = "REPRO_JOBS"
+#: environment variable overriding the cache directory; the values
+#: ``off``, ``none`` and ``0`` disable on-disk caching entirely
+CACHE_ENV = "REPRO_RUNCACHE"
+#: default on-disk cache location, relative to the working directory
+DEFAULT_CACHE_DIR = Path("results") / ".runcache"
+#: in-memory decoded-result entries kept per cache (L1 over the disk L2)
+MEMORY_CACHE_ENTRIES = 64
+#: generated traces memoised per process (they are deterministic)
+TRACE_MEMO_ENTRIES = 4
+
+
+# ----------------------------------------------------------------------
+# RunSpec: one content-addressed simulation cell
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class RunSpec:
+    """A picklable description of one (workload, FTL, config) cell.
+
+    ``seed`` overrides the workload preset's default seed when set;
+    ``tpftl`` defaults to the complete configuration (monogram
+    ``rsbc``).  The digest is stable across processes and runs: it
+    hashes the canonical JSON of every field.
+    """
+
+    workload: str
+    ftl: str
+    scale: ExperimentScale
+    cache_fraction: Optional[float] = None
+    tpftl: Optional[TPFTLConfig] = None
+    seed: Optional[int] = None
+    sample_interval: int = 0
+
+    @classmethod
+    def for_ablation(cls, monogram: str, scale: ExperimentScale,
+                     workload: str = "financial1") -> "RunSpec":
+        """The cell for a paper-style ablation monogram (or ``dftl``)."""
+        if monogram == "dftl":
+            return cls(workload=workload, ftl="dftl", scale=scale)
+        return cls(workload=workload, ftl="tpftl", scale=scale,
+                   tpftl=TPFTLConfig.from_monogram(monogram))
+
+    def canonical(self) -> Dict[str, Any]:
+        """The spec as a JSON-safe dict with a stable key order."""
+        return {
+            "workload": self.workload,
+            "ftl": self.ftl,
+            "scale": dataclasses.asdict(self.scale),
+            "cache_fraction": self.cache_fraction,
+            "tpftl": (dataclasses.asdict(self.tpftl)
+                      if self.tpftl is not None else None),
+            "seed": self.seed,
+            "sample_interval": self.sample_interval,
+        }
+
+    @property
+    def digest(self) -> str:
+        """Content address of this cell: sha256 of the canonical JSON."""
+        text = json.dumps(self.canonical(), sort_keys=True)
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable cell name for logs and bench records."""
+        parts = [self.workload, self.ftl]
+        if self.tpftl is not None:
+            parts.append(self.tpftl.monogram or "-")
+        if self.cache_fraction is not None:
+            parts.append(f"cf={self.cache_fraction:g}")
+        return ":".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Deterministic cell execution (shared by serial path and pool workers)
+# ----------------------------------------------------------------------
+_TRACE_MEMO: Dict[Tuple, Trace] = {}
+
+
+def build_spec_trace(spec: RunSpec) -> Trace:
+    """Build (or reuse) the deterministic trace a spec describes."""
+    scale = spec.scale
+    pages = (scale.msr_pages if spec.workload.startswith("msr")
+             else scale.financial_pages)
+    key = (spec.workload, pages, scale.num_requests, spec.seed)
+    trace = _TRACE_MEMO.get(key)
+    if trace is None:
+        kwargs: Dict[str, Any] = dict(logical_pages=pages,
+                                      num_requests=scale.num_requests)
+        if spec.seed is not None:
+            kwargs["seed"] = spec.seed
+        trace = make_preset(spec.workload, **kwargs)
+        while len(_TRACE_MEMO) >= TRACE_MEMO_ENTRIES:
+            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+        _TRACE_MEMO[key] = trace
+    return trace
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Run one cell from scratch (no cache) and return its result."""
+    trace = build_spec_trace(spec)
+    config = simulation_config(trace, cache_fraction=spec.cache_fraction,
+                               tpftl=spec.tpftl)
+    ftl = make_ftl(spec.ftl, config)
+    return simulate(ftl, trace, sample_interval=spec.sample_interval,
+                    warmup_requests=spec.scale.warmup_requests)
+
+
+def _timed_execute(spec: RunSpec) -> Tuple[RunResult, float]:
+    """Pool worker: execute a cell and measure its wall-clock."""
+    started = time.perf_counter()  # tp: allow=TP002 - harness timing, not simulation
+    result = execute_spec(spec)
+    elapsed = time.perf_counter() - started  # tp: allow=TP002 - harness timing
+    return result, elapsed
+
+
+def _call_star(payload: Tuple[Callable[..., Any], Tuple]) -> Any:
+    """Pool worker for :meth:`ParallelRunner.map`: ``fn(*args)``."""
+    fn, args = payload
+    return fn(*args)
+
+
+# ----------------------------------------------------------------------
+# RunResult <-> JSON
+# ----------------------------------------------------------------------
+def encode_result(result: RunResult) -> Dict[str, Any]:
+    """Encode a :class:`RunResult` as a JSON-safe dict."""
+    response = result.response
+    sampler = None
+    if result.sampler is not None:
+        sampler = {
+            "interval": result.sampler.interval,
+            "next_at": result.sampler._next_at,
+            "samples": [[s.access_number, s.cached_pages,
+                         s.cached_entries, s.dirty_entries]
+                        for s in result.sampler.samples],
+            "dirty_histogram": {str(k): v for k, v
+                                in result.sampler.dirty_histogram.items()},
+        }
+    return {
+        "ftl_name": result.ftl_name,
+        "trace_name": result.trace_name,
+        "requests": result.requests,
+        "metrics": dataclasses.asdict(result.metrics),
+        "response": {
+            "count": response.count,
+            "mean": response.mean,
+            "m2": response._m2,
+            "max": response.max,
+            "total_queue_delay": response.total_queue_delay,
+            "keep_samples": response.keep_samples,
+            "samples": list(response.samples),
+        },
+        "sampler": sampler,
+        "makespan": result.makespan,
+        "gc_time_us": result.gc_time_us,
+        "service_time_us": result.service_time_us,
+        "background_collections": result.background_collections,
+        "faults": dict(result.faults),
+    }
+
+
+def decode_result(payload: Dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult` from :func:`encode_result` output.
+
+    Raises on any shape mismatch (missing keys, renamed fields); the
+    cache layer treats every decoding error as a miss.
+    """
+    resp = payload["response"]
+    response = ResponseStats(
+        count=resp["count"], mean=resp["mean"], _m2=resp["m2"],
+        max=resp["max"], total_queue_delay=resp["total_queue_delay"],
+        keep_samples=resp["keep_samples"],
+        samples=[float(v) for v in resp["samples"]])
+    sampler = None
+    if payload["sampler"] is not None:
+        samp = payload["sampler"]
+        sampler = CacheSampler(
+            interval=samp["interval"],
+            samples=[CacheSample(access_number=a, cached_pages=p,
+                                 cached_entries=e, dirty_entries=d)
+                     for a, p, e, d in samp["samples"]],
+            dirty_histogram={int(k): v for k, v
+                             in samp["dirty_histogram"].items()})
+        sampler._next_at = samp["next_at"]
+    return RunResult(
+        ftl_name=payload["ftl_name"],
+        trace_name=payload["trace_name"],
+        requests=payload["requests"],
+        metrics=FTLMetrics(**payload["metrics"]),
+        response=response,
+        sampler=sampler,
+        makespan=payload["makespan"],
+        gc_time_us=payload["gc_time_us"],
+        service_time_us=payload["service_time_us"],
+        background_collections=payload["background_collections"],
+        faults=dict(payload["faults"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# Code fingerprint: invalidates the cache whenever the simulator changes
+# ----------------------------------------------------------------------
+_FINGERPRINT: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """sha256 over every ``repro`` source file, memoised per process.
+
+    Any change to the package (FTL logic, workload generators, metrics,
+    the runner itself) yields a new fingerprint, so stale cache entries
+    can never leak across code versions.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        package_root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+# ----------------------------------------------------------------------
+# RunCache: content-addressed, persistent, self-invalidating
+# ----------------------------------------------------------------------
+class RunCache:
+    """Two-level cache of finished cells, keyed by :attr:`RunSpec.digest`.
+
+    Level 1 is a small in-process dict of decoded results (bounded to
+    :data:`MEMORY_CACHE_ENTRIES`, evicting the oldest entry — unlike its
+    predecessor ``_MATRIX_CACHE`` it cannot grow without bound).  Level 2
+    is one JSON file per cell under ``directory``; files from another
+    schema or code version, and unreadable/corrupt files, are ignored.
+    """
+
+    def __init__(self,
+                 directory: "Path | str | None | bool" = True) -> None:
+        if directory is True:
+            directory = default_cache_dir()
+        elif directory is False:
+            directory = None
+        #: ``None`` disables the persistent level entirely
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: Dict[str, Tuple[RunResult, float]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.invalid = 0
+
+    # -- lookup ---------------------------------------------------------
+    def get(self, spec: RunSpec) -> Optional[Tuple[RunResult, float]]:
+        """Return ``(result, original_elapsed_s)`` for a cached cell."""
+        digest = spec.digest
+        entry = self._memory.get(digest)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        entry = self._read_disk(digest)
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._remember(digest, entry)
+        return entry
+
+    def _read_disk(self, digest: str) -> Optional[Tuple[RunResult, float]]:
+        if self.directory is None:
+            return None
+        path = self.directory / f"{digest}.json"
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if (payload["schema"] != CACHE_SCHEMA
+                    or payload["fingerprint"] != code_fingerprint()
+                    or payload["digest"] != digest):
+                self.invalid += 1
+                return None
+            return (decode_result(payload["result"]),
+                    float(payload["elapsed_s"]))
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # corrupt/truncated/stale-shaped file: recompute, never fail
+            self.invalid += 1
+            return None
+
+    # -- store ----------------------------------------------------------
+    def put(self, spec: RunSpec, result: RunResult,
+            elapsed_s: float) -> None:
+        """Persist one finished cell (atomically) and remember it."""
+        digest = spec.digest
+        self._remember(digest, (result, elapsed_s))
+        if self.directory is None:
+            return
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "fingerprint": code_fingerprint(),
+            "digest": digest,
+            "spec": spec.canonical(),
+            "elapsed_s": elapsed_s,
+            "result": encode_result(result),
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=str(self.directory),
+                                       suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp, self.directory / f"{digest}.json")
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+            self.stores += 1
+        except OSError:
+            # read-only filesystem etc.: run uncached rather than fail
+            pass
+
+    def _remember(self, digest: str,
+                  entry: Tuple[RunResult, float]) -> None:
+        self._memory.pop(digest, None)
+        while len(self._memory) >= MEMORY_CACHE_ENTRIES:
+            self._memory.pop(next(iter(self._memory)))
+        self._memory[digest] = entry
+
+    # -- maintenance ----------------------------------------------------
+    def clear_memory(self) -> None:
+        """Drop the in-process level (tests use this to control memory)."""
+        self._memory.clear()
+
+    def wipe(self) -> int:
+        """Delete every persistent entry; returns the number removed."""
+        self.clear_memory()
+        if self.directory is None or not self.directory.is_dir():
+            return 0
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/store counters since this cache was created."""
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "invalid": self.invalid}
+
+
+def default_cache_dir() -> Optional[Path]:
+    """Cache directory from :data:`CACHE_ENV`, or the default; ``None``
+    when the environment disables persistent caching."""
+    value = os.environ.get(CACHE_ENV)
+    if value is None:
+        return DEFAULT_CACHE_DIR
+    if value.strip().lower() in ("", "off", "none", "0", "disabled"):
+        return None
+    return Path(value)
+
+
+# ----------------------------------------------------------------------
+# ParallelRunner
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class CellOutcome:
+    """Bench record of one cell inside a :meth:`run_specs` batch."""
+
+    digest: str
+    label: str
+    elapsed_s: float
+    cached: bool
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit ``jobs`` wins, then :data:`JOBS_ENV`,
+    then 1 (serial)."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise ExperimentError(
+                    f"{JOBS_ENV} must be an integer, got {env!r}")
+        else:
+            jobs = 1
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+class ParallelRunner:
+    """Executes batches of cells, cache-first, optionally in parallel.
+
+    ``jobs=1`` (the default) runs cells inline with no executor — the
+    exact serial behaviour the figure modules had before this runner
+    existed.  ``jobs>1`` fans cache misses out over a process pool;
+    if the pool cannot be created (restricted environments), the batch
+    falls back to the serial path instead of failing.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[RunCache] = None) -> None:
+        self.jobs = resolve_jobs(jobs)
+        #: ``None`` disables caching (every cell recomputes)
+        self.cache = cache
+        self.outcomes: List[CellOutcome] = []
+        self._batches: List[Dict[str, Any]] = []
+
+    # -- cell batches ---------------------------------------------------
+    def run_specs(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Run a batch of cells and return results in input order.
+
+        Identical specs are executed once; cached cells are served from
+        the :class:`RunCache` without simulating.
+        """
+        batch_started = time.perf_counter()  # tp: allow=TP002 - harness timing
+        order = [spec.digest for spec in specs]
+        unique: Dict[str, RunSpec] = {}
+        for spec in specs:
+            unique.setdefault(spec.digest, spec)
+        done: Dict[str, Tuple[RunResult, float, bool]] = {}
+        pending: List[RunSpec] = []
+        for digest, spec in unique.items():
+            entry = self.cache.get(spec) if self.cache is not None else None
+            if entry is not None:
+                done[digest] = (entry[0], entry[1], True)
+            else:
+                pending.append(spec)
+        if len(pending) > 1 and self.jobs > 1:
+            executed = self._execute_parallel(pending)
+        else:
+            executed = [_timed_execute(spec) for spec in pending]
+        for spec, (result, elapsed) in zip(pending, executed):
+            if self.cache is not None:
+                self.cache.put(spec, result, elapsed)
+            done[spec.digest] = (result, elapsed, False)
+        hits = misses = 0
+        serial_equivalent = 0.0
+        for digest in unique:
+            result, elapsed, cached = done[digest]
+            hits += cached
+            misses += not cached
+            serial_equivalent += elapsed
+            self.outcomes.append(CellOutcome(
+                digest=digest, label=unique[digest].label(),
+                elapsed_s=elapsed, cached=cached))
+        wall = time.perf_counter() - batch_started  # tp: allow=TP002 - harness timing
+        self._batches.append({
+            "cells": len(unique),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "wall_clock_s": wall,
+            "serial_equivalent_s": serial_equivalent,
+            "speedup_vs_serial": (serial_equivalent / wall) if wall > 0
+            else 1.0,
+        })
+        return [done[digest][0] for digest in order]
+
+    def _execute_parallel(
+            self, specs: List[RunSpec]) -> List[Tuple[RunResult, float]]:
+        workers = min(self.jobs, len(specs))
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_timed_execute, specs))
+        except (OSError, PermissionError):
+            # no usable multiprocessing primitives: degrade to serial
+            return [_timed_execute(spec) for spec in specs]
+
+    # -- generic fan-out (faults/analysis registry experiments) ---------
+    def map(self, fn: Callable[..., Any],
+            items: Sequence[Tuple]) -> List[Any]:
+        """Apply ``fn(*args)`` to every args-tuple, in order.
+
+        ``fn`` must be a module-level (picklable) callable; with
+        ``jobs=1`` this is a plain loop.  Results are not cached — use
+        :meth:`run_specs` for content-addressed cells.
+        """
+        payloads = [(fn, tuple(args)) for args in items]
+        if self.jobs > 1 and len(payloads) > 1:
+            workers = min(self.jobs, len(payloads))
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    return list(pool.map(_call_star, payloads))
+            except (OSError, PermissionError):
+                pass
+        return [fn(*args) for fn, args in payloads]
+
+    # -- bench trajectory ----------------------------------------------
+    def bench_report(self) -> Dict[str, Any]:
+        """Everything measured so far, in ``BENCH_runner.json`` shape."""
+        total_serial = sum(b["serial_equivalent_s"] for b in self._batches)
+        total_wall = sum(b["wall_clock_s"] for b in self._batches)
+        hits = sum(b["cache_hits"] for b in self._batches)
+        misses = sum(b["cache_misses"] for b in self._batches)
+        return {
+            "bench": "runner",
+            "schema": CACHE_SCHEMA,
+            "jobs": self.jobs,
+            "cells": [dataclasses.asdict(outcome)
+                      for outcome in self.outcomes],
+            "batches": list(self._batches),
+            "totals": {
+                "cells": hits + misses,
+                "cache_hits": hits,
+                "cache_misses": misses,
+                "wall_clock_s": total_wall,
+                "serial_equivalent_s": total_serial,
+                "speedup_vs_serial": (total_serial / total_wall)
+                if total_wall > 0 else 1.0,
+            },
+            "cache": (self.cache.stats() if self.cache is not None
+                      else None),
+        }
+
+    def write_bench(self, path: "Path | str") -> Path:
+        """Write :meth:`bench_report` as JSON; returns the path."""
+        target = Path(path)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.bench_report(), indent=2)
+                          + "\n", encoding="utf-8")
+        return target
+
+
+# ----------------------------------------------------------------------
+# The process-wide default runner (what run_matrix & friends use)
+# ----------------------------------------------------------------------
+_DEFAULT_RUNNER: Optional[ParallelRunner] = None
+
+
+def get_runner() -> ParallelRunner:
+    """The shared runner, created on first use from the environment."""
+    global _DEFAULT_RUNNER
+    if _DEFAULT_RUNNER is None:
+        _DEFAULT_RUNNER = ParallelRunner(cache=RunCache())
+    return _DEFAULT_RUNNER
+
+
+def configure_runner(jobs: Optional[int] = None,
+                     cache_dir: "Path | str | None | bool" = True,
+                     ) -> ParallelRunner:
+    """Install (and return) a new default runner.
+
+    ``cache_dir=True`` keeps the environment-resolved default location,
+    ``None``/``False`` disables persistent caching, and a path uses that
+    directory.
+    """
+    global _DEFAULT_RUNNER
+    if cache_dir in (None, False):
+        cache = RunCache(directory=False)
+    elif cache_dir is True:
+        cache = RunCache()
+    else:
+        cache = RunCache(directory=Path(cache_dir))
+    _DEFAULT_RUNNER = ParallelRunner(jobs=jobs, cache=cache)
+    return _DEFAULT_RUNNER
+
+
+def reset_runner() -> None:
+    """Forget the default runner (next use rebuilds from environment)."""
+    global _DEFAULT_RUNNER
+    _DEFAULT_RUNNER = None
+
+
+def clear_run_caches() -> None:
+    """Drop in-process memoisation: the default runner's L1 cache and
+    the per-process trace memo.  Persistent cache files are untouched
+    (use :meth:`RunCache.wipe` for those)."""
+    _TRACE_MEMO.clear()
+    if _DEFAULT_RUNNER is not None and _DEFAULT_RUNNER.cache is not None:
+        _DEFAULT_RUNNER.cache.clear_memory()

@@ -10,12 +10,11 @@ volume and accuracy per threshold.
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import List
 
 from ..config import TPFTLConfig
-from .common import (ExperimentResult, ExperimentScale, build_workload,
-                     run_one)
+from .common import ExperimentResult, ExperimentScale
+from .runner import RunSpec, get_runner
 
 THRESHOLDS = (1, 2, 3, 5, 8)
 SWEEP_WORKLOADS = ("financial1", "msr-ts")
@@ -25,12 +24,15 @@ def run(scale: ExperimentScale) -> ExperimentResult:
     """Replay a trace and return the measured results."""
     rows: List[List[object]] = []
     data = {}
+    keys = [(workload, threshold) for workload in SWEEP_WORKLOADS
+            for threshold in THRESHOLDS]
+    specs = [RunSpec(workload=workload, ftl="tpftl", scale=scale,
+                     tpftl=TPFTLConfig(selective_threshold=threshold))
+             for workload, threshold in keys]
+    cells = dict(zip(keys, get_runner().run_specs(specs)))
     for workload in SWEEP_WORKLOADS:
-        trace = build_workload(workload, scale)
         for threshold in THRESHOLDS:
-            tpftl = TPFTLConfig(selective_threshold=threshold)
-            result = run_one(workload, "tpftl", scale, tpftl=tpftl,
-                             trace=trace)
+            result = cells[(workload, threshold)]
             m = result.metrics
             accuracy = (m.prefetch_hits / m.prefetched_entries
                         if m.prefetched_entries else 0.0)

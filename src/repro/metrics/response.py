@@ -11,6 +11,7 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..errors import MetricsError
 from ..types import RequestTiming
 
 
@@ -25,6 +26,9 @@ class ResponseStats:
     total_queue_delay: float = 0.0
     keep_samples: bool = False
     samples: List[float] = field(default_factory=list)
+    #: sorted view of ``samples``, rebuilt lazily (None = dirty)
+    _sorted: Optional[List[float]] = field(default=None, repr=False,
+                                           compare=False)
 
     def record(self, timing: RequestTiming) -> None:
         """Fold one request timing into the running statistics."""
@@ -38,6 +42,7 @@ class ResponseStats:
         self.total_queue_delay += timing.queue_delay
         if self.keep_samples:
             self.samples.append(value)
+            self._sorted = None
 
     @property
     def variance(self) -> float:
@@ -57,11 +62,26 @@ class ResponseStats:
         return self.total_queue_delay / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> Optional[float]:
-        """Nearest-rank percentile; requires ``keep_samples=True``."""
-        if not self.samples:
-            return None
+        """Nearest-rank percentile; requires ``keep_samples=True``.
+
+        Raises :class:`~repro.errors.MetricsError` when samples were
+        never collected (a caller asking would otherwise silently read
+        "no data" where the truth is "not measured").  Returns ``None``
+        only for the legitimately empty case: sampling was on but no
+        request was recorded.  The sorted order is cached and only
+        rebuilt after new samples arrive, so sweeping many percentiles
+        costs one sort instead of one per call.
+        """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
-        ordered = sorted(self.samples)
-        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
-        return ordered[rank - 1]
+        if not self.keep_samples and not self.samples:
+            raise MetricsError(
+                "percentiles need per-request samples; this run was "
+                "aggregated with keep_samples=False (pass "
+                "keep_response_samples=True to the device)")
+        if not self.samples:
+            return None
+        if self._sorted is None or len(self._sorted) != len(self.samples):
+            self._sorted = sorted(self.samples)
+        rank = max(1, math.ceil(p / 100.0 * len(self._sorted)))
+        return self._sorted[rank - 1]

@@ -3,6 +3,14 @@
 import pytest
 
 from repro.experiments.cli import build_parser, main, resolve_scale
+from repro.experiments.runner import reset_runner
+
+
+@pytest.fixture(autouse=True)
+def _forget_cli_runner():
+    """main() installs a global default runner; don't leak it."""
+    yield
+    reset_runner()
 
 
 class TestParser:
@@ -27,6 +35,22 @@ class TestParser:
             ["fig6a", "--requests", "100", "--warmup", "10"])
         assert args.requests == 100
         assert args.warmup == 10
+
+    def test_runner_flags(self):
+        args = build_parser().parse_args(
+            ["fig6a", "--jobs", "4", "--no-cache",
+             "--cache-dir", "/tmp/rc", "--bench", "BENCH_runner.json"])
+        assert args.jobs == 4
+        assert args.no_cache is True
+        assert args.cache_dir == "/tmp/rc"
+        assert args.bench == "BENCH_runner.json"
+
+    def test_runner_flag_defaults(self):
+        args = build_parser().parse_args(["fig6a"])
+        assert args.jobs is None
+        assert args.no_cache is False
+        assert args.cache_dir is None
+        assert args.bench is None
 
 
 class TestScaleResolution:
@@ -59,6 +83,29 @@ class TestMain:
         assert code == 0
         out = capsys.readouterr().out
         assert "[fig2a]" in out
+
+    def test_parallel_cached_run_emits_bench(self, tmp_path, capsys):
+        import json
+        argv = ["fig2b", "--requests", "400", "--warmup", "100",
+                "--jobs", "2", "--cache-dir", str(tmp_path / "rc"),
+                "--bench", str(tmp_path / "BENCH_runner.json")]
+        assert main(argv) == 0
+        cold = json.loads((tmp_path / "BENCH_runner.json").read_text())
+        assert cold["totals"]["cache_misses"] >= 1
+        assert main(argv) == 0  # warm: same matrix, zero simulations
+        warm = json.loads((tmp_path / "BENCH_runner.json").read_text())
+        assert warm["totals"]["cache_misses"] == 0
+        assert warm["totals"]["cache_hits"] == cold["totals"]["cells"]
+        assert "bench:" in capsys.readouterr().err
+
+    def test_wipe_cache(self, tmp_path, capsys):
+        argv = ["fig2b", "--requests", "400", "--warmup", "100",
+                "--cache-dir", str(tmp_path / "rc")]
+        assert main(argv) == 0
+        assert len(list((tmp_path / "rc").glob("*.json"))) >= 1
+        assert main(argv + ["--wipe-cache"]) == 0
+        err = capsys.readouterr().err
+        assert "wiped" in err
 
 
 class TestDensityMap:

@@ -1,0 +1,265 @@
+"""The parallel experiment runner and its persistent run cache.
+
+Everything here runs at a deliberately tiny scale (hundreds of requests
+on KB-sized devices) so the whole module — including the real
+process-pool fan-out — stays fast.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import TPFTLConfig
+from repro.errors import ExperimentError
+from repro.experiments import ExperimentScale
+from repro.experiments.common import (clear_matrix_cache, run_matrix,
+                                      run_one)
+from repro.experiments.runner import (CACHE_SCHEMA, ParallelRunner,
+                                      RunCache, RunSpec, configure_runner,
+                                      decode_result, encode_result,
+                                      execute_spec, get_runner,
+                                      reset_runner, resolve_jobs)
+
+TINY = ExperimentScale(
+    name="tiny", num_requests=900, warmup_requests=200,
+    financial_pages=2048, msr_pages=4096,
+    cache_fractions=(1 / 32, 1.0), sample_interval=300)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_default_runner(tmp_path):
+    """Point the default runner at a throwaway cache for every test."""
+    configure_runner(jobs=1, cache_dir=tmp_path / "default-cache")
+    yield
+    reset_runner()
+    clear_matrix_cache()
+
+
+def tiny_spec(**overrides) -> RunSpec:
+    params = dict(workload="financial1", ftl="dftl", scale=TINY,
+                  sample_interval=300)
+    params.update(overrides)
+    return RunSpec(**params)
+
+
+class TestRunSpecDigest:
+    def test_digest_stable_for_equal_specs(self):
+        assert tiny_spec().digest == tiny_spec().digest
+
+    def test_digest_changes_with_every_field(self):
+        base = tiny_spec()
+        variants = [
+            tiny_spec(workload="msr-ts"),
+            tiny_spec(ftl="tpftl"),
+            tiny_spec(scale=dataclasses.replace(TINY, num_requests=901)),
+            tiny_spec(cache_fraction=0.5),
+            tiny_spec(tpftl=TPFTLConfig.from_monogram("bc")),
+            tiny_spec(seed=99),
+            tiny_spec(sample_interval=0),
+        ]
+        digests = {base.digest} | {spec.digest for spec in variants}
+        assert len(digests) == len(variants) + 1
+
+    def test_digest_survives_pickling_shape(self):
+        # canonical() must stay JSON-serialisable (the digest contract)
+        text = json.dumps(tiny_spec().canonical(), sort_keys=True)
+        assert "financial1" in text
+
+    def test_scale_list_fractions_normalised(self):
+        # regression: a list-built scale used to make the spec (and the
+        # old _MATRIX_CACHE key) unhashable
+        listy = ExperimentScale(name="tiny", num_requests=900,
+                                warmup_requests=200,
+                                financial_pages=2048, msr_pages=4096,
+                                cache_fractions=[1 / 32, 1.0],
+                                sample_interval=300)
+        assert listy.cache_fractions == (1 / 32, 1.0)
+        assert hash(listy) == hash(TINY)
+        assert tiny_spec(scale=listy).digest == tiny_spec().digest
+        assert {listy: "ok"}[TINY] == "ok"
+
+    def test_ablation_spec_builder(self):
+        dftl = RunSpec.for_ablation("dftl", TINY)
+        bare = RunSpec.for_ablation("-", TINY)
+        assert dftl.ftl == "dftl" and dftl.tpftl is None
+        assert bare.ftl == "tpftl"
+        assert bare.tpftl.monogram == "-"
+
+
+class TestResultCodec:
+    def test_cache_round_trip_equals_fresh_run(self):
+        spec = tiny_spec()
+        fresh = execute_spec(spec)
+        decoded = decode_result(encode_result(fresh))
+        # field-for-field: dataclass equality covers metrics, response
+        # (including samples), sampler and the faults dict
+        assert decoded == fresh
+        assert decoded.metrics == fresh.metrics
+        assert decoded.response == fresh.response
+        assert decoded.sampler == fresh.sampler
+        assert decoded.summary() == fresh.summary()
+
+    def test_round_trip_through_json_text(self):
+        fresh = execute_spec(tiny_spec())
+        decoded = decode_result(
+            json.loads(json.dumps(encode_result(fresh))))
+        assert decoded == fresh
+
+    def test_dirty_histogram_keys_restored_as_ints(self):
+        fresh = execute_spec(tiny_spec())
+        assert fresh.sampler is not None
+        decoded = decode_result(
+            json.loads(json.dumps(encode_result(fresh))))
+        assert all(isinstance(k, int)
+                   for k in decoded.sampler.dirty_histogram)
+
+
+class TestRunCache:
+    def test_persists_across_cache_instances(self, tmp_path):
+        spec = tiny_spec()
+        result = execute_spec(spec)
+        RunCache(tmp_path).put(spec, result, 1.5)
+        entry = RunCache(tmp_path).get(spec)
+        assert entry is not None
+        assert entry[0] == result
+        assert entry[1] == 1.5
+
+    def test_corrupt_file_is_a_miss_not_fatal(self, tmp_path):
+        spec = tiny_spec()
+        cache = RunCache(tmp_path)
+        cache.put(spec, execute_spec(spec), 0.1)
+        path = tmp_path / f"{spec.digest}.json"
+        path.write_text("{ not json", encoding="utf-8")
+        fresh_cache = RunCache(tmp_path)
+        assert fresh_cache.get(spec) is None
+        assert fresh_cache.invalid == 1
+
+    def test_stale_schema_is_a_miss(self, tmp_path):
+        spec = tiny_spec()
+        cache = RunCache(tmp_path)
+        cache.put(spec, execute_spec(spec), 0.1)
+        path = tmp_path / f"{spec.digest}.json"
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["schema"] = CACHE_SCHEMA + 1
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert RunCache(tmp_path).get(spec) is None
+
+    def test_stale_fingerprint_is_a_miss(self, tmp_path):
+        spec = tiny_spec()
+        cache = RunCache(tmp_path)
+        cache.put(spec, execute_spec(spec), 0.1)
+        path = tmp_path / f"{spec.digest}.json"
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        payload["fingerprint"] = "0" * 64
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        assert RunCache(tmp_path).get(spec) is None
+
+    def test_disabled_directory_keeps_memory_level(self):
+        spec = tiny_spec()
+        cache = RunCache(directory=False)
+        assert cache.directory is None
+        result = execute_spec(spec)
+        cache.put(spec, result, 0.1)
+        assert cache.get(spec)[0] == result  # L1 still works
+
+    def test_wipe_removes_entries(self, tmp_path):
+        spec = tiny_spec()
+        cache = RunCache(tmp_path)
+        cache.put(spec, execute_spec(spec), 0.1)
+        assert cache.wipe() == 1
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestParallelRunner:
+    def test_parallel_equals_serial_for_fixed_seed(self, tmp_path):
+        specs = [tiny_spec(ftl="dftl"), tiny_spec(ftl="tpftl"),
+                 tiny_spec(workload="msr-ts", ftl="tpftl")]
+        serial = ParallelRunner(jobs=1, cache=None).run_specs(specs)
+        parallel = ParallelRunner(jobs=2, cache=None).run_specs(specs)
+        for s, p in zip(serial, parallel):
+            assert s == p
+            assert s.metrics.hit_ratio == p.metrics.hit_ratio
+            assert s.metrics.total_erases == p.metrics.total_erases
+            assert s.response.mean == p.response.mean
+
+    def test_warm_cache_performs_zero_simulations(self, tmp_path):
+        specs = [tiny_spec(ftl="dftl"), tiny_spec(ftl="tpftl")]
+        cold = ParallelRunner(jobs=2, cache=RunCache(tmp_path))
+        cold_results = cold.run_specs(specs)
+        assert cold.cache.stats()["misses"] == 2
+        warm = ParallelRunner(jobs=2, cache=RunCache(tmp_path))
+        warm_results = warm.run_specs(specs)
+        stats = warm.cache.stats()
+        assert stats["hits"] == 2 and stats["misses"] == 0
+        assert warm_results == cold_results
+        assert all(o.cached for o in warm.outcomes)
+
+    def test_duplicate_specs_simulated_once(self, tmp_path):
+        runner = ParallelRunner(jobs=1, cache=RunCache(tmp_path))
+        results = runner.run_specs([tiny_spec(), tiny_spec()])
+        assert results[0] is results[1]
+        assert runner.cache.stats()["misses"] == 1
+
+    def test_map_parallel_matches_serial(self):
+        items = [(3,), (-4,), (5,)]
+        assert (ParallelRunner(jobs=2).map(abs, items)
+                == ParallelRunner(jobs=1).map(abs, items)
+                == [3, 4, 5])
+
+    def test_bench_report_shape(self, tmp_path):
+        runner = ParallelRunner(jobs=1, cache=RunCache(tmp_path))
+        runner.run_specs([tiny_spec()])
+        runner.run_specs([tiny_spec()])  # warm: a hit
+        report = runner.bench_report()
+        assert report["bench"] == "runner"
+        assert report["totals"]["cells"] == 2
+        assert report["totals"]["cache_hits"] == 1
+        assert report["totals"]["wall_clock_s"] > 0
+        assert len(report["cells"]) == 2
+        assert {"digest", "label", "elapsed_s", "cached"} \
+            <= set(report["cells"][0])
+        target = runner.write_bench(tmp_path / "BENCH_runner.json")
+        assert json.loads(target.read_text())["totals"]["cells"] == 2
+
+    def test_jobs_resolution(self, monkeypatch):
+        assert resolve_jobs(3) == 3
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs() == 4
+        monkeypatch.delenv("REPRO_JOBS")
+        assert resolve_jobs() == 1
+        with pytest.raises(ExperimentError):
+            resolve_jobs(0)
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        with pytest.raises(ExperimentError):
+            resolve_jobs()
+
+
+class TestDefaultRunnerIntegration:
+    def test_run_matrix_served_from_cache_on_rerun(self):
+        matrix = run_matrix(TINY, workloads=("financial1",),
+                            ftls=("dftl", "tpftl"))
+        runner = get_runner()
+        assert runner.cache.stats()["misses"] == 2
+        again = run_matrix(TINY, workloads=("financial1",),
+                           ftls=("dftl", "tpftl"))
+        assert runner.cache.stats()["misses"] == 2  # no new simulations
+        assert again == matrix
+
+    def test_run_one_routes_through_cache(self):
+        first = run_one("financial1", "dftl", TINY)
+        second = run_one("financial1", "dftl", TINY)
+        assert first == second
+        assert get_runner().cache.stats()["hits"] >= 1
+
+    def test_clear_matrix_cache_shim_clears_memory_only(self):
+        run_one("financial1", "dftl", TINY)
+        runner = get_runner()
+        clear_matrix_cache()
+        assert len(runner.cache._memory) == 0
+        # disk level still warm: rerun is a hit, not a simulation
+        misses_before = runner.cache.stats()["misses"]
+        run_one("financial1", "dftl", TINY)
+        assert runner.cache.stats()["misses"] == misses_before

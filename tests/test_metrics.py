@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import MetricsError
 from repro.metrics import (CacheSampler, FTLMetrics, ResponseStats,
                            format_table)
 from repro.metrics.report import format_percent
@@ -90,7 +91,12 @@ class TestResponseStats:
     def test_percentile_requires_samples(self):
         stats = ResponseStats()
         self.record(stats, [1.0])
-        assert stats.percentile(50) is None  # keep_samples off
+        with pytest.raises(MetricsError):  # keep_samples off: loud, not None
+            stats.percentile(50)
+
+    def test_percentile_empty_but_enabled_is_none(self):
+        stats = ResponseStats(keep_samples=True)
+        assert stats.percentile(50) is None  # sampled, zero requests
 
     def test_percentile_nearest_rank(self):
         stats = ResponseStats(keep_samples=True)
@@ -98,6 +104,14 @@ class TestResponseStats:
         assert stats.percentile(50) == 50.0
         assert stats.percentile(99) == 99.0
         assert stats.percentile(100) == 100.0
+
+    def test_percentile_sorted_cache_invalidated_by_new_samples(self):
+        stats = ResponseStats(keep_samples=True)
+        self.record(stats, [5.0, 1.0, 3.0])
+        assert stats.percentile(100) == 5.0
+        self.record(stats, [9.0])  # must invalidate the cached order
+        assert stats.percentile(100) == 9.0
+        assert stats.percentile(1) == 1.0
 
     def test_percentile_bounds(self):
         stats = ResponseStats(keep_samples=True)
