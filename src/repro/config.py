@@ -390,8 +390,15 @@ class SimulationConfig:
     #: sample the cache distribution every this many user page accesses
     #: (0 disables sampling); the paper samples every 10,000.
     sample_interval: int = 0
+    #: independently-queued flash channels of the device model
+    #: (1 = the paper's single-server queue; >1 overlaps operations)
+    channels: int = 1
     #: runtime invariant checking (off by default: zero overhead)
     sanitizer: SanitizerConfig = field(default_factory=SanitizerConfig)
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ConfigError("channels must be >= 1")
 
     def resolved_cache(self) -> CacheConfig:
         """The cache config, defaulting to the paper's §5.1 sizing rule."""

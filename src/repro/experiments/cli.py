@@ -45,6 +45,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--warmup", type=int, default=None,
         help="override the number of warmup requests")
     parser.add_argument(
+        "--channels", type=int, default=None, metavar="N",
+        help="flash channels for every simulation cell (default 1 = "
+             "the paper's single-server queue)")
+    parser.add_argument(
         "--json", metavar="DIR", default=None,
         help="also write each result as JSON into this directory")
     parser.add_argument(
@@ -78,6 +82,8 @@ def resolve_scale(args: argparse.Namespace) -> ExperimentScale:
         overrides["num_requests"] = args.requests
     if args.warmup is not None:
         overrides["warmup_requests"] = args.warmup
+    if args.channels is not None:
+        overrides["channels"] = args.channels
     if overrides:
         from dataclasses import replace
         scale = replace(scale, **overrides)

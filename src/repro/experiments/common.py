@@ -51,6 +51,9 @@ class ExperimentScale:
     cache_fractions: Sequence[float] = (1 / 128, 1 / 32, 1 / 8, 1 / 2,
                                         1.0)
     sample_interval: int = 2_000
+    #: flash channels of the device model (1 = the paper's queue);
+    #: the CLI's ``--channels`` overrides this for every cell
+    channels: int = 1
 
     def __post_init__(self) -> None:
         # Normalise to a tuple so a scale built with a list is still
@@ -134,13 +137,14 @@ def build_workload(name: str, scale: ExperimentScale) -> Trace:
 
 def simulation_config(trace: Trace,
                       cache_fraction: Optional[float] = None,
-                      tpftl: Optional[TPFTLConfig] = None
-                      ) -> SimulationConfig:
+                      tpftl: Optional[TPFTLConfig] = None,
+                      channels: int = 1) -> SimulationConfig:
     """The paper's §5.1 configuration for a trace.
 
     The SSD is as large as the trace's logical address space; the cache
     follows the block-table+GTD rule unless ``cache_fraction`` (of the
     full mapping table) is given, as in the Fig 8(c)/9/10 sweeps.
+    ``channels`` selects the device model (1 = the paper's queue).
     """
     ssd = SSDConfig(logical_pages=trace.logical_pages)
     cache = None
@@ -148,7 +152,8 @@ def simulation_config(trace: Trace,
         cache = CacheConfig(
             budget_bytes=ssd.cache_bytes_for_fraction(cache_fraction))
     return SimulationConfig(ssd=ssd, cache=cache,
-                            tpftl=tpftl or TPFTLConfig())
+                            tpftl=tpftl or TPFTLConfig(),
+                            channels=channels)
 
 
 def run_one(workload: str, ftl_name: str, scale: ExperimentScale,
@@ -156,24 +161,30 @@ def run_one(workload: str, ftl_name: str, scale: ExperimentScale,
             tpftl: Optional[TPFTLConfig] = None,
             sample_interval: int = 0,
             trace: Optional[Trace] = None,
-            seed: Optional[int] = None) -> RunResult:
+            seed: Optional[int] = None,
+            channels: Optional[int] = None) -> RunResult:
     """Run one (workload, FTL) cell with the paper's configuration.
 
     Without an explicit ``trace`` the cell is fully described by a
     :class:`~repro.experiments.runner.RunSpec` and is served through the
     default runner — i.e. from the persistent run cache when warm.  An
     explicit ``trace`` bypasses the cache (its content is not digested).
+    ``channels`` defaults to the scale's channel count.
     """
+    if channels is None:
+        channels = scale.channels
     if trace is not None:
         config = simulation_config(trace, cache_fraction=cache_fraction,
-                                   tpftl=tpftl)
+                                   tpftl=tpftl, channels=channels)
         ftl = make_ftl(ftl_name, config)
         return simulate(ftl, trace, sample_interval=sample_interval,
-                        warmup_requests=scale.warmup_requests)
+                        warmup_requests=scale.warmup_requests,
+                        channels=channels)
     from .runner import RunSpec, get_runner
     spec = RunSpec(workload=workload, ftl=ftl_name, scale=scale,
                    cache_fraction=cache_fraction, tpftl=tpftl,
-                   seed=seed, sample_interval=sample_interval)
+                   seed=seed, sample_interval=sample_interval,
+                   channels=channels)
     return get_runner().run_specs([spec])[0]
 
 
@@ -182,7 +193,8 @@ def matrix_specs(scale: ExperimentScale,
                  ftls: Sequence[str] = HEADLINE_FTLS) -> List:
     """The cell specs of the headline (workload x FTL) matrix."""
     from .runner import RunSpec
-    return [RunSpec(workload=workload, ftl=ftl_name, scale=scale)
+    return [RunSpec(workload=workload, ftl=ftl_name, scale=scale,
+                    channels=scale.channels)
             for workload in workloads for ftl_name in ftls]
 
 

@@ -5,8 +5,8 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from ..errors import ExperimentError
-from . import (analysis, faults, fig1, fig2, fig6, fig7, fig8, fig9,
-               fig10, model_check, table2, threshold_sweep)
+from . import (analysis, channels, faults, fig1, fig2, fig6, fig7, fig8,
+               fig9, fig10, model_check, table2, threshold_sweep)
 from .common import ExperimentResult, ExperimentScale
 
 #: every table/figure of the paper's evaluation, in paper order
@@ -37,6 +37,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], ExperimentResult]] = {
     "threshold-sweep": threshold_sweep.run,
     "faults": faults.run,
     "analysis": analysis.run,
+    "channels": channels.run,
 }
 
 

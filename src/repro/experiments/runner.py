@@ -51,7 +51,7 @@ from ..workloads import make_preset
 from .common import ExperimentScale, simulation_config
 
 #: bump when the cache-file layout or RunResult encoding changes
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 #: environment variable overriding the worker count (``--jobs`` wins)
 JOBS_ENV = "REPRO_JOBS"
 #: environment variable overriding the cache directory; the values
@@ -74,8 +74,9 @@ class RunSpec:
 
     ``seed`` overrides the workload preset's default seed when set;
     ``tpftl`` defaults to the complete configuration (monogram
-    ``rsbc``).  The digest is stable across processes and runs: it
-    hashes the canonical JSON of every field.
+    ``rsbc``); ``channels`` selects the device model (1 = the paper's
+    single-server queue).  The digest is stable across processes and
+    runs: it hashes the canonical JSON of every field.
     """
 
     workload: str
@@ -85,6 +86,7 @@ class RunSpec:
     tpftl: Optional[TPFTLConfig] = None
     seed: Optional[int] = None
     sample_interval: int = 0
+    channels: int = 1
 
     @classmethod
     def for_ablation(cls, monogram: str, scale: ExperimentScale,
@@ -106,6 +108,7 @@ class RunSpec:
                       if self.tpftl is not None else None),
             "seed": self.seed,
             "sample_interval": self.sample_interval,
+            "channels": self.channels,
         }
 
     @property
@@ -121,6 +124,8 @@ class RunSpec:
             parts.append(self.tpftl.monogram or "-")
         if self.cache_fraction is not None:
             parts.append(f"cf={self.cache_fraction:g}")
+        if self.channels != 1:
+            parts.append(f"ch={self.channels}")
         return ":".join(parts)
 
 
@@ -153,10 +158,11 @@ def execute_spec(spec: RunSpec) -> RunResult:
     """Run one cell from scratch (no cache) and return its result."""
     trace = build_spec_trace(spec)
     config = simulation_config(trace, cache_fraction=spec.cache_fraction,
-                               tpftl=spec.tpftl)
+                               tpftl=spec.tpftl, channels=spec.channels)
     ftl = make_ftl(spec.ftl, config)
     return simulate(ftl, trace, sample_interval=spec.sample_interval,
-                    warmup_requests=spec.scale.warmup_requests)
+                    warmup_requests=spec.scale.warmup_requests,
+                    channels=config.channels)
 
 
 def _timed_execute(spec: RunSpec) -> Tuple[RunResult, float]:
@@ -201,6 +207,7 @@ def encode_result(result: RunResult) -> Dict[str, Any]:
             "m2": response._m2,
             "max": response.max,
             "total_queue_delay": response.total_queue_delay,
+            "total_service_time": response.total_service_time,
             "keep_samples": response.keep_samples,
             "samples": list(response.samples),
         },
@@ -209,6 +216,7 @@ def encode_result(result: RunResult) -> Dict[str, Any]:
         "gc_time_us": result.gc_time_us,
         "service_time_us": result.service_time_us,
         "background_collections": result.background_collections,
+        "channels": result.channels,
         "faults": dict(result.faults),
     }
 
@@ -223,6 +231,7 @@ def decode_result(payload: Dict[str, Any]) -> RunResult:
     response = ResponseStats(
         count=resp["count"], mean=resp["mean"], _m2=resp["m2"],
         max=resp["max"], total_queue_delay=resp["total_queue_delay"],
+        total_service_time=resp["total_service_time"],
         keep_samples=resp["keep_samples"],
         samples=[float(v) for v in resp["samples"]])
     sampler = None
@@ -247,6 +256,7 @@ def decode_result(payload: Dict[str, Any]) -> RunResult:
         gc_time_us=payload["gc_time_us"],
         service_time_us=payload["service_time_us"],
         background_collections=payload["background_collections"],
+        channels=payload["channels"],
         faults=dict(payload["faults"]),
     )
 

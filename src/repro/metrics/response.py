@@ -24,6 +24,10 @@ class ResponseStats:
     _m2: float = 0.0
     max: float = 0.0
     total_queue_delay: float = 0.0
+    #: summed wall time requests spent in service (first dispatch to
+    #: completion); under a multi-channel device this counts elapsed
+    #: time, not flash-busy time, so overlapped operations shrink it
+    total_service_time: float = 0.0
     keep_samples: bool = False
     samples: List[float] = field(default_factory=list)
     #: sorted view of ``samples``, rebuilt lazily (None = dirty)
@@ -40,6 +44,7 @@ class ResponseStats:
         if value > self.max:
             self.max = value
         self.total_queue_delay += timing.queue_delay
+        self.total_service_time += timing.service_time
         if self.keep_samples:
             self.samples.append(value)
             self._sorted = None
@@ -60,6 +65,12 @@ class ResponseStats:
     def mean_queue_delay(self) -> float:
         """Mean time spent waiting for the device."""
         return self.total_queue_delay / self.count if self.count else 0.0
+
+    @property
+    def mean_service_time(self) -> float:
+        """Mean wall time in service (response minus queueing delay)."""
+        return (self.total_service_time / self.count if self.count
+                else 0.0)
 
     def percentile(self, p: float) -> Optional[float]:
         """Nearest-rank percentile; requires ``keep_samples=True``.

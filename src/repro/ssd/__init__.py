@@ -1,11 +1,14 @@
 """The device model: an FTL plus FIFO queueing and response times.
 
-``SSDevice`` is the paper-faithful single-channel model;
-``ChannelSSDevice`` (extension) overlaps operations across several flash
-channels.
+:class:`DeviceModel` is the shared timing subsystem (validation, warmup,
+GC accounting, background GC, per-run queue reset); :class:`SSDevice` is
+the paper-faithful single-channel queue and :class:`ChannelSSDevice`
+(extension) overlaps operations across several flash channels.  Use
+:func:`make_device` to pick a model by channel count.
 """
 
-from .device import RunResult, SSDevice, simulate
-from .parallel import ChannelSSDevice
+from .device import DeviceModel, RunResult, SSDevice, simulate
+from .parallel import ChannelSSDevice, make_device
 
-__all__ = ["SSDevice", "ChannelSSDevice", "RunResult", "simulate"]
+__all__ = ["DeviceModel", "SSDevice", "ChannelSSDevice", "RunResult",
+           "simulate", "make_device"]

@@ -1,21 +1,40 @@
 """Trace-driven SSD device model.
 
 Wraps an FTL and turns flash-operation counts into time using the Table 3
-latencies, under a single-server FIFO queue: a request's service starts at
-``max(arrival, device free)``, and the *system response time* (Fig 6e) is
-queueing delay plus service time.  GC time is charged to the request that
-triggered it, as in FlashSim.
+latencies.  :class:`DeviceModel` owns everything that is *not* a queueing
+decision — trace validation, per-run queue reset, warmup, GC-time and
+service-time accounting, background GC, response statistics and cache
+sampling — and delegates only the dispatch policy to its subclasses:
+
+* :class:`SSDevice` is the paper-faithful single-server FIFO queue: a
+  request's service starts at ``max(arrival, device free)`` and the
+  *system response time* (Fig 6e) is queueing delay plus service time.
+  GC is charged to the request that triggered it, as in FlashSim.
+* :class:`~repro.ssd.parallel.ChannelSSDevice` (extension) dispatches
+  individual flash operations over N independently-queued channels.
+
+Unified timing semantics (identical in every device model):
+
+* A request that touches no flash at all (e.g. a TRIM whose mapping is
+  cached — invalidation is out-of-band bookkeeping) completes at its
+  arrival time: it never joins a queue and is charged no queueing delay.
+* ``RequestTiming.start`` is the instant the device *first dispatches*
+  work for the request, so ``queue_delay = start - arrival`` measures
+  real contention.
+* Warmup requests age the FTL but are not timed; queue state is reset at
+  the start of every ``run()`` so a reused device never inherits the
+  previous replay's makespan.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..errors import WorkloadError
 from ..ftl.base import BaseFTL
 from ..metrics import CacheSampler, FTLMetrics, ResponseStats
-from ..types import RequestTiming, Trace
+from ..types import AccessResult, RequestTiming, Trace
 
 
 @dataclasses.dataclass
@@ -36,6 +55,8 @@ class RunResult:
     service_time_us: float = 0.0
     #: victim blocks collected during host idle time
     background_collections: int = 0
+    #: flash channels of the device model that produced this result
+    channels: int = 1
     #: reliability counters from FlashStats.fault_summary() (injected
     #: faults, ECC retries, retired blocks); all zero on a healthy run
     faults: dict = dataclasses.field(default_factory=dict)
@@ -55,14 +76,32 @@ class RunResult:
             "trace": self.trace_name,
             "requests": self.requests,
             "mean_response_us": self.response.mean,
+            "mean_queue_delay_us": self.response.mean_queue_delay,
             "makespan_us": self.makespan,
+            "gc_time_fraction": self.gc_time_fraction,
+            "channels": self.channels,
         })
         data.update(self.faults)
         return data
 
 
-class SSDevice:
-    """A simulated SSD: one FTL instance plus the timing model."""
+class DeviceModel:
+    """Shared timing machinery over an FTL; subclasses pick the queueing.
+
+    Subclasses implement four small hooks:
+
+    * :meth:`_reset_queues` — forget all queue state (start of ``run``);
+    * :meth:`_earliest_free` — when the least-busy queue frees up
+      (drives the background-GC idle detector);
+    * :meth:`_absorb_idle` — charge idle-time (background GC) service to
+      the least-busy queue;
+    * :meth:`_dispatch` — place one request's flash work on the
+      queue(s), returning ``(start, finish)`` where ``start`` is the
+      first dispatch time.
+    """
+
+    #: channel count reported in RunResult (subclasses override)
+    channels: int = 1
 
     def __init__(self, ftl: BaseFTL, sample_interval: int = 0,
                  keep_response_samples: bool = False,
@@ -74,8 +113,31 @@ class SSDevice:
         #: collect victims during idle gaps (extension; off = paper model)
         self.background_gc = background_gc
         self.background_gc_min_idle_us = background_gc_min_idle_us
-        self._busy_until = 0.0
+        self._reset_queues()
 
+    # ------------------------------------------------------------------
+    # Queueing hooks
+    # ------------------------------------------------------------------
+    def _reset_queues(self) -> None:
+        """Forget all queue state (called at the start of every run)."""
+        raise NotImplementedError
+
+    def _earliest_free(self) -> float:
+        """Simulated time at which the least-busy queue frees up."""
+        raise NotImplementedError
+
+    def _absorb_idle(self, service_us: float) -> None:
+        """Charge idle-time service to the least-busy queue."""
+        raise NotImplementedError
+
+    def _dispatch(self, arrival: float, cost: AccessResult,
+                  service_us: float) -> Tuple[float, float]:
+        """Queue one request's flash work; return ``(start, finish)``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # The replay loop
+    # ------------------------------------------------------------------
     def run(self, trace: Trace, warmup_requests: int = 0) -> RunResult:
         """Replay a trace and return the measured results.
 
@@ -83,13 +145,17 @@ class SSDevice:
         device (fragment the physical mapping, populate the cache, reach
         GC steady state) and then every statistic is reset, so the
         measurement reflects steady-state behaviour — the regime the
-        paper's multi-million-request traces operate in.
+        paper's multi-million-request traces operate in.  Warmup service
+        is not timed and queue state is reset per run, so neither a
+        warmup phase nor a previous replay ever leaks into the measured
+        timings.
         """
         max_lpn = trace.max_lpn()
         if max_lpn is not None and max_lpn >= self.ftl.ssd.logical_pages:
             raise WorkloadError(
                 f"trace touches LPN {max_lpn} but the device has only "
                 f"{self.ftl.ssd.logical_pages} logical pages")
+        self._reset_queues()
         ssd = self.ftl.ssd
         measured = trace.requests
         if warmup_requests > 0:
@@ -104,9 +170,10 @@ class SSDevice:
         gc_time = 0.0
         service_total = 0.0
         background_collections = 0
+        makespan = 0.0
         for request in measured:
             if self.background_gc:
-                idle = request.arrival - self._busy_until
+                idle = request.arrival - self._earliest_free()
                 while idle >= self.background_gc_min_idle_us:
                     bg = self.ftl.background_collect(max_blocks=1)
                     bg_service = bg.service_time(
@@ -114,9 +181,9 @@ class SSDevice:
                     if bg_service == 0.0:
                         break
                     background_collections += bg.erases
-                    self._busy_until += bg_service
+                    self._absorb_idle(bg_service)
                     gc_time += bg_service
-                    idle = request.arrival - self._busy_until
+                    idle = request.arrival - self._earliest_free()
             cost = self.ftl.serve_request(request)
             service = cost.service_time(ssd.read_us, ssd.write_us,
                                         ssd.erase_us)
@@ -129,9 +196,16 @@ class SSDevice:
             gc_time += gc_ops.service_time(ssd.read_us, ssd.write_us,
                                            ssd.erase_us)
             service_total += service
-            start = max(request.arrival, self._busy_until)
-            finish = start + service
-            self._busy_until = finish
+            if cost.total_reads or cost.total_writes or cost.erases:
+                start, finish = self._dispatch(request.arrival, cost,
+                                               service)
+            else:
+                # No flash touched (pure cache hit / cached TRIM): the
+                # request completes at arrival and is charged no
+                # queueing delay for flash work it never issued.
+                start = finish = request.arrival
+            if finish > makespan:
+                makespan = finish
             response.record(RequestTiming(arrival=request.arrival,
                                           start=start, finish=finish))
             if sampler is not None:
@@ -144,18 +218,48 @@ class SSDevice:
             metrics=self.ftl.metrics,
             response=response,
             sampler=sampler,
-            makespan=self._busy_until,
+            makespan=makespan,
             gc_time_us=gc_time,
             service_time_us=service_total,
             background_collections=background_collections,
+            channels=self.channels,
             faults=self.ftl.flash.stats.fault_summary(),
         )
 
 
+class SSDevice(DeviceModel):
+    """A simulated SSD: one FTL under a single-server FIFO queue."""
+
+    channels = 1
+
+    def _reset_queues(self) -> None:
+        self._busy_until = 0.0
+
+    def _earliest_free(self) -> float:
+        return self._busy_until
+
+    def _absorb_idle(self, service_us: float) -> None:
+        self._busy_until += service_us
+
+    def _dispatch(self, arrival: float, cost: AccessResult,
+                  service_us: float) -> Tuple[float, float]:
+        start = max(arrival, self._busy_until)
+        finish = start + service_us
+        self._busy_until = finish
+        return start, finish
+
+
 def simulate(ftl: BaseFTL, trace: Trace, sample_interval: int = 0,
              keep_response_samples: bool = False,
-             warmup_requests: int = 0) -> RunResult:
-    """One-shot convenience: build a device around ``ftl`` and replay."""
-    device = SSDevice(ftl, sample_interval=sample_interval,
-                      keep_response_samples=keep_response_samples)
+             warmup_requests: int = 0, channels: int = 1) -> RunResult:
+    """One-shot convenience: build a device around ``ftl`` and replay.
+
+    ``channels=1`` (the default) uses the paper-faithful
+    :class:`SSDevice`; larger counts build a
+    :class:`~repro.ssd.parallel.ChannelSSDevice`.
+    """
+    from .parallel import make_device
+    device = make_device(ftl, channels=channels,
+                         sample_interval=sample_interval,
+                         keep_response_samples=keep_response_samples)
     return device.run(trace, warmup_requests=warmup_requests)

@@ -2,82 +2,107 @@
 
 The paper's response-time model is a single-server queue — one flash
 channel.  Real SSDs stripe blocks across several channels that operate
-in parallel (Agrawal et al., the source of Table 3, models up to 8).
-``ChannelSSDevice`` refines the timing model: each flash operation is
-dispatched to the channel owning its physical block, channels serve
-their own FIFO queues, and a request completes when its last operation
-does.
+in parallel (Agrawal et al., the source of Table 3, models up to 8;
+LFTL drives a parallel-IO flash card the same way).
+:class:`ChannelSSDevice` refines the timing model: each flash operation
+is dispatched to a channel, channels serve their own FIFO queues, and a
+request completes when its last operation does.
 
 Because the FTL layer is timing-agnostic (it reports operation *counts*
 and the flash records *which* blocks were touched), the channel model
 only needs the per-request operation trace; we approximate it by
-spreading each request's operations round-robin over the channels,
-which matches block-striped allocation in the limit.  The single-channel
-``SSDevice`` remains the paper-faithful default.
+striping operations over the channels with a round-robin cursor that
+persists across requests — the limit behaviour of block-striped
+allocation, under which consecutive single-page requests land on
+different channels.  Intra-request ordering constraints (a translation
+read preceding the data read it resolves) are ignored, so the model is
+an optimistic bound on channel overlap.  The single-channel
+:class:`~repro.ssd.device.SSDevice` remains the paper-faithful default,
+and ``ChannelSSDevice(channels=1)`` reproduces it exactly — same
+arithmetic, same per-request finish times, bit for bit.
+
+All non-queueing behaviour (trace validation, warmup, GC-time and
+service-time accounting, background GC, response sampling, per-run
+queue reset) lives in the shared :class:`~repro.ssd.device.DeviceModel`
+base and is therefore identical across device models.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from ..errors import ConfigError
 from ..ftl.base import BaseFTL
-from ..metrics import ResponseStats
-from ..types import RequestTiming, Trace
-from .device import RunResult
+from ..types import AccessResult
+from .device import DeviceModel, SSDevice
 
 
-class ChannelSSDevice:
+class ChannelSSDevice(DeviceModel):
     """An SSD with ``channels`` independently-queued flash channels."""
 
-    def __init__(self, ftl: BaseFTL, channels: int = 4) -> None:
+    def __init__(self, ftl: BaseFTL, channels: int = 4,
+                 **kwargs) -> None:
         if channels < 1:
             raise ConfigError("channels must be >= 1")
-        self.ftl = ftl
         self.channels = channels
-        self._busy: List[float] = [0.0] * channels
+        super().__init__(ftl, **kwargs)
 
-    def run(self, trace: Trace, warmup_requests: int = 0) -> RunResult:
-        """Replay a trace and return the measured results."""
+    # ------------------------------------------------------------------
+    # Queueing hooks
+    # ------------------------------------------------------------------
+    def _reset_queues(self) -> None:
+        self._busy: List[float] = [0.0] * self.channels
+        #: round-robin striping cursor; persists across requests so
+        #: consecutive small requests spread over all channels
+        self._cursor = 0
+
+    def _earliest_free(self) -> float:
+        return min(self._busy)
+
+    def _absorb_idle(self, service_us: float) -> None:
+        # background GC occupies one channel; use the least busy one
+        index = self._busy.index(min(self._busy))
+        self._busy[index] += service_us
+
+    def _dispatch(self, arrival: float, cost: AccessResult,
+                  service_us: float) -> Tuple[float, float]:
+        if self.channels == 1:
+            # Exact SSDevice arithmetic (one multiply-accumulated
+            # service time, not a per-op sum), so channels=1 replays
+            # are bit-for-bit identical to the single-server model.
+            start = max(arrival, self._busy[0])
+            finish = start + service_us
+            self._busy[0] = finish
+            return start, finish
         ssd = self.ftl.ssd
-        measured = trace.requests
-        if warmup_requests > 0:
-            for request in trace.requests[:warmup_requests]:
-                self.ftl.serve_request(request)
-            from ..metrics import FTLMetrics
-            self.ftl.metrics = FTLMetrics()
-            self.ftl.flash.stats.reset()
-            measured = trace.requests[warmup_requests:]
-        response = ResponseStats()
-        makespan = 0.0
-        for request in measured:
-            cost = self.ftl.serve_request(request)
-            # expand the cost into individual operation latencies
-            ops: List[float] = []
-            ops.extend([ssd.read_us] * cost.total_reads)
-            ops.extend([ssd.write_us] * cost.total_writes)
-            ops.extend([ssd.erase_us] * cost.erases)
-            if not ops:
-                finish = max(request.arrival,
-                             min(self._busy))  # pure cache hit
-            else:
-                finish = request.arrival
-                for index, latency in enumerate(ops):
-                    channel = index % self.channels
-                    start = max(request.arrival, self._busy[channel])
-                    self._busy[channel] = start + latency
-                    finish = max(finish, self._busy[channel])
-            makespan = max(makespan, finish)
-            response.record(RequestTiming(arrival=request.arrival,
-                                          start=request.arrival,
-                                          finish=finish))
-        return RunResult(
-            ftl_name=self.ftl.name,
-            trace_name=trace.name,
-            requests=len(measured),
-            metrics=self.ftl.metrics,
-            response=response,
-            sampler=None,
-            makespan=makespan,
-            faults=self.ftl.flash.stats.fault_summary(),
-        )
+        ops: List[float] = []
+        ops.extend([ssd.read_us] * cost.total_reads)
+        ops.extend([ssd.write_us] * cost.total_writes)
+        ops.extend([ssd.erase_us] * cost.erases)
+        start = None
+        finish = arrival
+        for latency in ops:
+            channel = self._cursor
+            self._cursor = (self._cursor + 1) % self.channels
+            op_start = max(arrival, self._busy[channel])
+            self._busy[channel] = op_start + latency
+            if start is None or op_start < start:
+                start = op_start
+            if self._busy[channel] > finish:
+                finish = self._busy[channel]
+        return start, finish
+
+
+def make_device(ftl: BaseFTL, channels: int = 1,
+                **kwargs) -> DeviceModel:
+    """Build the device model for a channel count.
+
+    ``channels=1`` returns the paper-faithful :class:`SSDevice`; larger
+    counts return a :class:`ChannelSSDevice`.  ``kwargs`` (sampling,
+    response samples, background GC) are shared by both models.
+    """
+    if channels < 1:
+        raise ConfigError("channels must be >= 1")
+    if channels == 1:
+        return SSDevice(ftl, **kwargs)
+    return ChannelSSDevice(ftl, channels=channels, **kwargs)

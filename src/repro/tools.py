@@ -22,7 +22,7 @@ from .config import (CacheConfig, SimulationConfig, SSDConfig,
                      TPFTLConfig)
 from .ftl import FTL_NAMES, make_ftl
 from .metrics import format_table
-from .ssd import ChannelSSDevice, SSDevice
+from .ssd import make_device
 from .workloads import (PRESET_NAMES, load_msr_trace, load_spc_trace,
                         make_preset)
 
@@ -88,7 +88,8 @@ def _build_config(args: argparse.Namespace, logical_pages: int
                 args.cache_fraction))
     return SimulationConfig(
         ssd=ssd, cache=cache,
-        tpftl=TPFTLConfig.from_monogram(args.tpftl_config))
+        tpftl=TPFTLConfig.from_monogram(args.tpftl_config),
+        channels=args.channels)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -99,14 +100,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     ftl = make_ftl(args.ftl, config)
     warmup = (args.warmup if args.warmup is not None
               else len(trace) // 4)
-    if args.channels > 1:
-        device = ChannelSSDevice(ftl, channels=args.channels)
-        run = device.run(trace, warmup_requests=warmup)
-    else:
-        run = SSDevice(ftl).run(trace, warmup_requests=warmup)
+    device = make_device(ftl, channels=config.channels)
+    run = device.run(trace, warmup_requests=warmup)
     summary = run.summary()
     summary["cache_bytes"] = config.resolved_cache().budget_bytes
-    summary["channels"] = args.channels
     if args.json is not None:
         payload = json.dumps(summary, indent=2)
         if args.json == "-":

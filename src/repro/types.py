@@ -181,6 +181,11 @@ class RequestTiming:
         """Time spent waiting before service started."""
         return self.start - self.arrival
 
+    @property
+    def service_time(self) -> float:
+        """Wall time from first dispatch to completion."""
+        return self.finish - self.start
+
 
 @dataclass
 class Trace:

@@ -72,6 +72,14 @@ class TestScaleResolution:
         args = build_parser().parse_args(["fig6a", "--warmup", "7"])
         assert resolve_scale(args).warmup_requests == 7
 
+    def test_channels_override(self):
+        args = build_parser().parse_args(["fig6e", "--channels", "4"])
+        assert resolve_scale(args).channels == 4
+
+    def test_channels_default_is_paper_model(self):
+        args = build_parser().parse_args(["fig6e"])
+        assert resolve_scale(args).channels == 1
+
 
 class TestMain:
     def test_unknown_experiment_exits_2(self, capsys):

@@ -142,6 +142,16 @@ class TestTPFTLConfig:
 
 
 class TestSimulationConfig:
+    def test_channels_default_single(self):
+        from repro.config import SimulationConfig
+        assert SimulationConfig().channels == 1
+
+    def test_channels_validated(self):
+        from repro.config import SimulationConfig
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            SimulationConfig(channels=0)
+
     def test_default_cache_follows_paper_rule(self):
         sim = SimulationConfig(ssd=SSDConfig(logical_pages=8192))
         resolved = sim.resolved_cache()

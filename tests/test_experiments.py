@@ -221,6 +221,32 @@ class TestExtensionExperiments:
             assert 0.0 <= payload["hit_ratio"] <= 1.0
             assert 0.0 <= payload["accuracy"] <= 1.0
 
+    def test_channels_sweep_runs(self):
+        result = run_experiment("channels", MICRO)
+        assert len(result.rows) == 8  # 2 FTLs x 4 channel counts
+        trajectory = result.data["trajectory"]
+        assert [t["channels"] for t in trajectory] == [1, 2, 4, 8] * 2
+        for record in trajectory:
+            assert record["mean_response_us"] > 0.0
+            assert 0.0 <= record["gc_time_fraction"] < 1.0
+            assert (record["mean_queue_delay_us"]
+                    + record["mean_service_us"]
+                    == pytest.approx(record["mean_response_us"]))
+        # more channels never slow the mean response down
+        for ftl_rows in (trajectory[:4], trajectory[4:]):
+            means = [t["mean_response_us"] for t in ftl_rows]
+            assert means == sorted(means, reverse=True) or \
+                all(m <= means[0] for m in means)
+        # the 1-channel cell is the paper's model: same digest space as
+        # the Fig 6 matrix, so speedups anchor at exactly 1.0
+        assert trajectory[0]["speedup_vs_1ch"] == 1.0
+
+    def test_channels_sweep_is_bench_shaped(self):
+        result = run_experiment("channels", MICRO)
+        assert result.data["bench"] == "channels"
+        assert result.data["channel_sweep"] == [1, 2, 4, 8]
+        assert result.data["workload"] == "financial1"
+
     def test_faults_runs(self):
         from repro.ftl import FTL_NAMES
         result = run_experiment("faults", MICRO)

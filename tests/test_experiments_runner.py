@@ -59,6 +59,7 @@ class TestRunSpecDigest:
             tiny_spec(tpftl=TPFTLConfig.from_monogram("bc")),
             tiny_spec(seed=99),
             tiny_spec(sample_interval=0),
+            tiny_spec(channels=4),
         ]
         digests = {base.digest} | {spec.digest for spec in variants}
         assert len(digests) == len(variants) + 1
@@ -80,6 +81,13 @@ class TestRunSpecDigest:
         assert hash(listy) == hash(TINY)
         assert tiny_spec(scale=listy).digest == tiny_spec().digest
         assert {listy: "ok"}[TINY] == "ok"
+
+    def test_channel_spec_labelled_and_executed(self):
+        spec = tiny_spec(channels=4)
+        assert "ch=4" in spec.label()
+        assert "ch=" not in tiny_spec().label()
+        result = execute_spec(spec)
+        assert result.channels == 4
 
     def test_ablation_spec_builder(self):
         dftl = RunSpec.for_ablation("dftl", TINY)

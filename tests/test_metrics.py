@@ -88,6 +88,17 @@ class TestResponseStats:
                                    finish=20.0))
         assert stats.mean_queue_delay == pytest.approx(10.0)
 
+    def test_service_time_tracked(self):
+        stats = ResponseStats()
+        stats.record(RequestTiming(arrival=0.0, start=5.0, finish=10.0))
+        stats.record(RequestTiming(arrival=0.0, start=15.0,
+                                   finish=30.0))
+        assert stats.total_service_time == pytest.approx(20.0)
+        assert stats.mean_service_time == pytest.approx(10.0)
+        # queue delay + in-service time decompose the response time
+        assert (stats.mean_queue_delay + stats.mean_service_time
+                == pytest.approx(stats.mean))
+
     def test_percentile_requires_samples(self):
         stats = ResponseStats()
         self.record(stats, [1.0])
