@@ -2,37 +2,50 @@
 
 Subcommands:
 
-* ``lint [paths...]`` — run the TP-rule AST lint pass (default target:
-  ``src``).  Exits non-zero when findings outside the committed
-  baseline exist; ``--write-baseline`` regenerates the baseline from
-  the current findings instead.
-* ``rules`` — print every TP lint rule and SAN sanitizer rule with its
-  one-line description.
+* ``lint [paths...]`` — run both analysis passes (the single-file TP0xx
+  AST rules and the interprocedural TP1xx flow rules) over Python
+  sources (default target: ``src``).  Exits non-zero when findings
+  outside the committed baseline exist; ``--write-baseline``
+  regenerates the baseline from the current findings instead.
+  ``--format text|json|sarif`` picks the report format (SARIF 2.1.0
+  feeds GitHub code scanning); ``--fail-stale`` turns stale baseline
+  entries into a failure; ``--disable``/``--exclude`` select rules and
+  prune subtrees per invocation (tests legitimately use ``assert``, so
+  CI lints them with ``--disable TP003``).
+* ``rules`` — print every TP lint rule, TP1xx flow rule and SAN
+  sanitizer rule with its one-line description.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
-from typing import List, Optional
+from typing import List, Optional, Sequence, Set, Tuple
 
 from .checkers import SAN_RULES
-from .lint import (RULES, lint_paths, load_baseline, partition_findings,
-                   write_baseline)
+from .flow import FLOW_RULES, analyze_paths, to_sarif
+from .flow.sarif import default_rule_table
+from .lint import (Finding, RULES, lint_paths, load_baseline,
+                   partition_findings, write_baseline)
 
 #: default baseline location, relative to the invocation directory
 DEFAULT_BASELINE = ".analysis-baseline.json"
+
+#: the report formats the lint subcommand can emit
+FORMATS = ("text", "json", "sarif")
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Project-specific static analysis (TP rules) and "
-                    "rule listing for the FTLSan runtime sanitizer.")
+        description="Project-specific static analysis (TP AST rules + "
+                    "TP1xx interprocedural flow rules) and rule "
+                    "listing for the FTLSan runtime sanitizer.")
     sub = parser.add_subparsers(dest="command", required=True)
     lint = sub.add_parser(
-        "lint", help="run the AST lint pass over Python sources")
+        "lint", help="run both analysis passes over Python sources")
     lint.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src)")
@@ -46,13 +59,87 @@ def _build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--write-baseline", action="store_true",
         help="rewrite the baseline from the current findings and exit 0")
+    lint.add_argument(
+        "--fail-stale", action="store_true",
+        help="exit non-zero when baseline entries no longer trigger "
+             "(keeps the committed baseline honest in CI)")
+    lint.add_argument(
+        "--format", choices=FORMATS, default="text", dest="format_",
+        metavar="FORMAT",
+        help="report format: text (default), json, or sarif "
+             "(SARIF 2.1.0 for GitHub code scanning)")
+    lint.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the json/sarif document to FILE instead of stdout")
+    lint.add_argument(
+        "--disable", action="append", default=[], metavar="CODES",
+        help="rule codes to skip (comma-separated, repeatable); e.g. "
+             "--disable TP003 when linting test trees")
+    lint.add_argument(
+        "--exclude", action="append", default=[], metavar="PATH",
+        help="path prefixes to prune from the linted trees "
+             "(repeatable); e.g. --exclude tests/fixtures")
     sub.add_parser(
-        "rules", help="list every TP lint rule and SAN sanitizer rule")
+        "rules", help="list every TP lint rule, TP1xx flow rule and "
+                      "SAN sanitizer rule")
     return parser
 
 
+def _disabled_codes(raw: Sequence[str]) -> Set[str]:
+    codes: Set[str] = set()
+    for chunk in raw:
+        codes.update(c.strip() for c in chunk.split(",") if c.strip())
+    return codes
+
+
+def _collect_findings(args: argparse.Namespace) -> List[Finding]:
+    """Both passes over the requested trees, rule-filtered and sorted."""
+    disabled = _disabled_codes(args.disable)
+    findings = lint_paths(args.paths, exclude=args.exclude)
+    findings += analyze_paths(args.paths, exclude=args.exclude)
+    findings = [f for f in findings if f.rule not in disabled]
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def _emit_document(document: dict, output: Optional[str]) -> None:
+    text = json.dumps(document, indent=2) + "\n"
+    if output:
+        pathlib.Path(output).write_text(text, encoding="utf-8")
+    else:
+        sys.stdout.write(text)
+
+
+def _json_document(new: List[Finding], grandfathered: List[Finding],
+                   stale: Set[Tuple[str, str, str]]) -> dict:
+    def _encode(finding: Finding, suppressed: bool) -> dict:
+        return {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "message": finding.message,
+            "snippet": finding.snippet,
+            "suppressed": suppressed,
+        }
+
+    return {
+        "version": 1,
+        "tool": "repro.analysis",
+        "findings": ([_encode(f, False) for f in new]
+                     + [_encode(f, True) for f in grandfathered]),
+        "summary": {
+            "new": len(new),
+            "grandfathered": len(grandfathered),
+            "stale_baseline_entries": [
+                {"rule": rule, "path": path, "snippet": snippet}
+                for rule, path, snippet in sorted(stale)],
+        },
+    }
+
+
 def _run_lint(args: argparse.Namespace) -> int:
-    findings = lint_paths(args.paths)
+    findings = _collect_findings(args)
     baseline_path = pathlib.Path(args.baseline)
     if args.write_baseline:
         write_baseline(baseline_path, findings)
@@ -61,20 +148,33 @@ def _run_lint(args: argparse.Namespace) -> int:
     baseline = (set() if args.no_baseline
                 else load_baseline(baseline_path))
     new, grandfathered = partition_findings(findings, baseline)
-    for finding in new:
-        print(finding.render())
-    if grandfathered:
-        print(f"({len(grandfathered)} grandfathered finding(s) "
-              f"suppressed by {baseline_path})")
     stale = baseline - {f.key for f in findings}
+    if args.format_ == "json":
+        _emit_document(_json_document(new, grandfathered, stale),
+                       args.output)
+    elif args.format_ == "sarif":
+        _emit_document(
+            to_sarif(new, grandfathered,
+                     default_rule_table(FLOW_RULES)),
+            args.output)
+    else:
+        for finding in new:
+            print(finding.render())
+        if grandfathered:
+            print(f"({len(grandfathered)} grandfathered finding(s) "
+                  f"suppressed by {baseline_path})")
+    status = sys.stdout if args.format_ == "text" else sys.stderr
     if stale:
-        print(f"note: {len(stale)} baseline entr(ies) no longer "
-              "triggered; consider --write-baseline")
+        print(f"{'error' if args.fail_stale else 'note'}: {len(stale)} "
+              "baseline entr(ies) no longer triggered; "
+              "regenerate with --write-baseline", file=status)
     if new:
-        print(f"{len(new)} new finding(s)")
+        print(f"{len(new)} new finding(s)", file=status)
+        return 1
+    if stale and args.fail_stale:
         return 1
     print(f"lint clean: {len(findings)} finding(s), all grandfathered"
-          if findings else "lint clean")
+          if findings else "lint clean", file=status)
     return 0
 
 
@@ -82,6 +182,10 @@ def _run_rules() -> int:
     print("TP lint rules (python -m repro.analysis lint):")
     for code in sorted(RULES):
         print(f"  {code}  {RULES[code]}")
+    print()
+    print("TP flow rules (interprocedural; same lint subcommand):")
+    for code in sorted(FLOW_RULES):
+        print(f"  {code}  {FLOW_RULES[code]}")
     print()
     print("SAN sanitizer rules (config.sanitizer / FTLSan):")
     for code in sorted(SAN_RULES):

@@ -1,0 +1,36 @@
+"""Interprocedural dataflow analysis for the TP lint pass.
+
+Where :mod:`repro.analysis.lint` checks one AST node at a time, this
+subpackage sees the whole program: :mod:`~repro.analysis.flow.callgraph`
+parses every module once and builds a name-resolved call graph plus a
+per-class mutable-state inventory (:mod:`~repro.analysis.flow.state`);
+:mod:`~repro.analysis.flow.engine` runs fixed-point closures over the
+graph; :mod:`~repro.analysis.flow.rules` implements the ``TP1xx``
+rules on top (state-reset, transitive flash escape, frozen-config
+aliasing, nondeterministic iteration); and
+:mod:`~repro.analysis.flow.sarif` serializes both passes' findings as
+SARIF 2.1.0 for GitHub code scanning.
+
+Run it through the shared CLI::
+
+    python -m repro.analysis lint src --format sarif
+"""
+
+from __future__ import annotations
+
+from .callgraph import Project
+from .engine import FlowEngine, fixed_point
+from .rules import (FLOW_RULES, analyze_paths, analyze_project,
+                    analyze_source)
+from .sarif import to_sarif
+
+__all__ = [
+    "FLOW_RULES",
+    "FlowEngine",
+    "Project",
+    "analyze_paths",
+    "analyze_project",
+    "analyze_source",
+    "fixed_point",
+    "to_sarif",
+]

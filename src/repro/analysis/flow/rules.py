@@ -1,0 +1,426 @@
+"""The interprocedural ``TP1xx`` rules over the flow engine.
+
+Each rule is a function ``(project, engine) -> findings`` registered in
+:data:`FLOW_RULES`.  They share the lint pass's :class:`Finding` type
+and ``(rule, path, snippet)`` baseline keys, so the CLI treats both
+passes uniformly (baseline, pragmas, formats).
+
+========  ==============================================================
+TP101     per-run state mutated on the run path but never re-initialized
+          on the reset path (the PR-4 channel-queue leak class)
+TP102     transitive flash bypass: a call chain that reaches a direct
+          flash page operation through helpers (the PR-2
+          ``_invalidate_remaining`` class); generalizes TP006
+TP103     a mutable field of a frozen config aliased into an attribute
+          and later mutated in place (writes through to the config)
+TP104     unordered ``set`` iteration feeding simulation-visible state
+          on the run path (nondeterministic replay order)
+========  ==============================================================
+
+Suppression uses the same pragma as the lint pass
+(``# tp: allow=TP101 - reason``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..lint import _FLASH_OPS, Finding, _dotted
+from .callgraph import FunctionInfo, ModuleInfo, Project
+from .engine import FlowEngine
+from .state import AttrEvent, _is_set_expr
+
+__all__ = [
+    "FLOW_RULES",
+    "RESET_METHODS",
+    "RUN_ROOTS",
+    "analyze_paths",
+    "analyze_project",
+    "analyze_source",
+]
+
+#: every flow rule, code -> one-line description
+FLOW_RULES: Dict[str, str] = {
+    "TP101": ("per-run state mutated on the run path but not "
+              "re-initialized on the reset path (state leaks across "
+              "run() calls)"),
+    "TP102": ("call chain reaches a direct flash page operation "
+              "through helpers, bypassing FlashMemory (transitive "
+              "form of TP006)"),
+    "TP103": ("mutable field of a frozen config aliased into an "
+              "attribute and mutated in place (writes through to the "
+              "shared config)"),
+    "TP104": ("unordered set iteration on the simulation path "
+              "(replay-visible order is nondeterministic; iterate "
+              "sorted(...))"),
+}
+
+#: methods that constitute a class's per-run reset protocol
+RESET_METHODS: Tuple[str, ...] = ("_reset_queues", "reset")
+#: entry points of the serve/run path
+RUN_ROOTS: Tuple[str, ...] = ("run", "serve_request")
+
+_Rule = Callable[[Project, FlowEngine], List[Finding]]
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _finding(project: Project, module: ModuleInfo, rule: str, line: int,
+             col: int, message: str) -> Optional[Finding]:
+    """Build a finding unless a pragma on ``line`` suppresses it."""
+    if project.suppressed(module, line, rule):
+        return None
+    return Finding(rule=rule, path=module.path, line=line, col=col,
+                   message=message,
+                   snippet=project.snippet(module, line))
+
+
+def _in_flash_package(path: str) -> bool:
+    return "flash" in path.split("/")
+
+
+def _self_call_closure(project: Project, cls_qname: str,
+                       roots: Sequence[str]) -> Tuple[Set[str], bool]:
+    """Method *names* reachable from ``roots`` via ``self.m()`` calls,
+    resolved through ``cls_qname``'s effective method table, plus
+    whether every self-call resolved (an unresolved target means the
+    class is abstract with respect to this protocol — a template hook
+    only subclasses implement)."""
+    table = project.effective_methods(cls_qname)
+    seen: Set[str] = set()
+    complete = True
+    queue = [r for r in roots if r in table]
+    while queue:
+        name = queue.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        for site in table[name].calls:
+            if site.kind != "self":
+                continue
+            if site.target in table:
+                queue.append(site.target)
+            elif not site.target.startswith("__"):
+                complete = False
+    return seen, complete
+
+
+def _defining_state(project: Project, cls_qname: str,
+                    method: str) -> Optional[Tuple[str, "FunctionInfo"]]:
+    """(defining class qname, FunctionInfo) for an effective method."""
+    fn = project.effective_methods(cls_qname).get(method)
+    if fn is None or fn.cls is None:
+        return None
+    return fn.cls, fn
+
+
+# ----------------------------------------------------------------------
+# TP101: per-run state reset
+# ----------------------------------------------------------------------
+def check_state_reset(project: Project,
+                      engine: FlowEngine) -> List[Finding]:
+    """Flag run-path mutations of attributes the reset path forgets.
+
+    Applies to every class whose effective method table exposes both a
+    run root (``run``/``serve_request``) and a reset protocol method
+    (``_reset_queues``/``reset``) — the :class:`DeviceModel` contract.
+    A plain rebinding store on the run path counts as an
+    *initialization* (the attribute gets a fresh value every run)
+    unless its right-hand side reads the attribute itself, in which
+    case the previous run's value flows into this run — exactly the
+    PR-4 cursor/queue leak.
+    """
+    findings: Dict[Tuple[str, int, str], Finding] = {}
+    for cls_qname in sorted(project.classes):
+        table = project.effective_methods(cls_qname)
+        reset_roots = [m for m in RESET_METHODS if m in table]
+        run_roots = [m for m in RUN_ROOTS if m in table]
+        if not reset_roots or not run_roots:
+            continue
+        reset_names, reset_complete = _self_call_closure(
+            project, cls_qname, reset_roots)
+        if not reset_complete:
+            continue
+        run_names, _ = _self_call_closure(project, cls_qname, run_roots)
+        run_names -= reset_names
+        run_names.discard("__init__")
+        reset_assigned: Set[str] = set()
+        for method in reset_names:
+            owned = _defining_state(project, cls_qname, method)
+            if owned is None:
+                continue
+            owner, _ = owned
+            state = project.classes[owner].state
+            if state is not None:
+                reset_assigned |= state.assigns.get(method, set())
+        fresh_assigned: Set[str] = set()
+        leaky_events: List[Tuple[AttrEvent, str]] = []
+        for method in sorted(run_names):
+            owned = _defining_state(project, cls_qname, method)
+            if owned is None:
+                continue
+            owner, fn = owned
+            state = project.classes[owner].state
+            if state is None:
+                continue
+            for event in state.assign_events.get(method, []):
+                if event.detail == "selfref":
+                    leaky_events.append((event, fn.path))
+                else:
+                    fresh_assigned.add(event.attr)
+            for event in state.mutations.get(method, []):
+                leaky_events.append((event, fn.path))
+        initialized = reset_assigned | fresh_assigned
+        for event, path in leaky_events:
+            if event.attr in initialized:
+                continue
+            module = project.module_for_path(path)
+            if module is None:
+                continue
+            key = (path, event.line, event.attr)
+            if key in findings:
+                continue
+            reset_shown = "/".join(f"{m}()" for m in reset_roots)
+            found = _finding(
+                project, module, "TP101", event.line, event.col,
+                f"self.{event.attr} is mutated on the run path "
+                f"({event.method}) but never re-initialized on the "
+                f"reset path ({reset_shown}); its value leaks across "
+                "run() calls")
+            if found is not None:
+                findings[key] = found
+    return list(findings.values())
+
+
+# ----------------------------------------------------------------------
+# TP102: transitive flash bypass
+# ----------------------------------------------------------------------
+def _direct_bypass_lines(project: Project,
+                         fn: FunctionInfo) -> List[int]:
+    """Lines in ``fn`` holding a direct unrouted flash page op
+    (the TP006 pattern), minus pragma-suppressed ones."""
+    module = project.modules[fn.module]
+    lines: List[int] = []
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr not in _FLASH_OPS:
+            continue
+        receiver = _dotted(func.value)
+        if receiver is not None and (receiver == "flash"
+                                     or receiver.endswith(".flash")):
+            continue
+        if (project.suppressed(module, node.lineno, "TP006")
+                or project.suppressed(module, node.lineno, "TP102")):
+            continue
+        lines.append(node.lineno)
+    return lines
+
+
+def check_flash_escape(project: Project,
+                       engine: FlowEngine) -> List[Finding]:
+    """Flag call sites whose callee transitively bypasses FlashMemory.
+
+    Sources are functions outside the flash package containing a
+    direct unrouted page operation (TP006 flags those sites
+    themselves); the taint is closed backwards over the call graph so
+    every caller that reaches a bypass through any number of helpers
+    is reported at its call site — the PR-2
+    ``_invalidate_remaining`` shape, where the mutation hid one
+    helper away from the merge path.
+    """
+    sources = {fn.qname for fn in project.functions.values()
+               if not _in_flash_package(fn.path)
+               and _direct_bypass_lines(project, fn)}
+    if not sources:
+        return []
+    tainted = engine.reaching(sources)
+    findings: List[Finding] = []
+    for qname in sorted(tainted):
+        fn = project.functions[qname]
+        if _in_flash_package(fn.path):
+            continue
+        module = project.modules[fn.module]
+        for callee, site in engine.sites_into(qname, tainted):
+            shown = site.target + "()"
+            found = _finding(
+                project, module, "TP102", site.line, site.col,
+                f"{shown} transitively performs a flash page "
+                f"operation bypassing FlashMemory (reaches "
+                f"{callee}); route the mutation through self.flash "
+                "so the FaultInjector observes it")
+            if found is not None:
+                findings.append(found)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# TP103: frozen-config escape
+# ----------------------------------------------------------------------
+def check_config_escape(project: Project,
+                        engine: FlowEngine) -> List[Finding]:
+    """Flag in-place mutation of attributes aliasing config fields.
+
+    An alias ``self.x = config.field`` is harmless until some method —
+    possibly in a subclass, possibly far from the alias — mutates
+    ``self.x`` in place: the "frozen" config then changes under every
+    other holder of the same object.  Rebinding stores and augmented
+    assigns are exempt (they replace the reference instead of writing
+    through it, or are ambiguous for immutable fields).
+    """
+    findings: List[Finding] = []
+    for cls_qname in sorted(project.classes):
+        info = project.classes[cls_qname]
+        if info.state is None or not info.state.aliases:
+            continue
+        related = [cls_qname] + sorted(project.descendants(cls_qname))
+        for attr in sorted(info.state.aliases):
+            alias = info.state.aliases[attr]
+            for holder in related:
+                holder_info = project.classes.get(holder)
+                if holder_info is None or holder_info.state is None:
+                    continue
+                for method in sorted(holder_info.state.mutations):
+                    for event in holder_info.state.mutations[method]:
+                        if event.attr != attr:
+                            continue
+                        if event.kind not in ("mutcall", "subscript"):
+                            continue
+                        module = project.module_for_path(
+                            holder_info.path)
+                        if module is None:
+                            continue
+                        how = (f".{event.detail}()"
+                               if event.kind == "mutcall"
+                               else "item assignment")
+                        found = _finding(
+                            project, module, "TP103", event.line,
+                            event.col,
+                            f"self.{attr} aliases frozen config "
+                            f"field {alias.detail} (bound in "
+                            f"{alias.method}()); in-place {how} "
+                            "writes through to the shared config — "
+                            "copy the field before mutating it")
+                        if found is not None:
+                            findings.append(found)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# TP104: nondeterministic iteration
+# ----------------------------------------------------------------------
+def _family_set_attrs(project: Project, cls_qname: str) -> Set[str]:
+    attrs: Set[str] = set()
+    for owner in [cls_qname] + project.ancestors(cls_qname):
+        info = project.classes.get(owner)
+        if info is not None and info.state is not None:
+            attrs |= info.state.set_attrs
+    return attrs
+
+
+def _set_locals(fn_node: ast.AST) -> Set[str]:
+    """Local names bound to set expressions inside one function."""
+    names: Set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _iter_loops(fn_node: ast.AST) -> List[Tuple[ast.AST, ast.expr]]:
+    """(loop node, iterated expression) for every for/comprehension."""
+    loops: List[Tuple[ast.AST, ast.expr]] = []
+    for node in ast.walk(fn_node):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            loops.append((node, node.iter))
+        elif isinstance(node, (ast.ListComp, ast.SetComp,
+                               ast.GeneratorExp, ast.DictComp)):
+            for generator in node.generators:
+                loops.append((node, generator.iter))
+    return loops
+
+
+def check_unordered_iteration(project: Project,
+                              engine: FlowEngine) -> List[Finding]:
+    """Flag set iteration in functions reachable from the run path.
+
+    Only functions the simulation can actually reach (the forward
+    closure of every ``run``/``serve_request`` method) are checked, so
+    pure tooling/reporting code may iterate sets freely.  ``dict``
+    iteration is insertion-ordered in the supported interpreters and
+    is exempt; wrapping the set in ``sorted(...)`` silences the rule
+    structurally.
+    """
+    roots = [fn.qname for fn in project.functions.values()
+             if fn.cls is not None and fn.name in RUN_ROOTS]
+    reachable = engine.reachable_from(roots)
+    findings: List[Finding] = []
+    for qname in sorted(reachable):
+        fn = project.functions[qname]
+        module = project.modules[fn.module]
+        set_names = _set_locals(fn.node)
+        set_attrs = (_family_set_attrs(project, fn.cls)
+                     if fn.cls is not None else set())
+        for loop, iterated in _iter_loops(fn.node):
+            described: Optional[str] = None
+            if _is_set_expr(iterated):
+                described = "a set expression"
+            elif (isinstance(iterated, ast.Name)
+                  and iterated.id in set_names):
+                described = f"set {iterated.id!r}"
+            elif (isinstance(iterated, ast.Attribute)
+                  and isinstance(iterated.value, ast.Name)
+                  and iterated.value.id in ("self", "cls")
+                  and iterated.attr in set_attrs):
+                described = f"set attribute self.{iterated.attr}"
+            if described is None:
+                continue
+            found = _finding(
+                project, module, "TP104", iterated.lineno,
+                iterated.col_offset,
+                f"iterating over {described} on the simulation path; "
+                "set order is nondeterministic across processes — "
+                "iterate sorted(...) so replay stays deterministic")
+            if found is not None:
+                findings.append(found)
+    return findings
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+_RULE_IMPLS: Dict[str, _Rule] = {
+    "TP101": check_state_reset,
+    "TP102": check_flash_escape,
+    "TP103": check_config_escape,
+    "TP104": check_unordered_iteration,
+}
+
+
+def analyze_project(project: Project) -> List[Finding]:
+    """Run every flow rule over an already-parsed project."""
+    engine = FlowEngine(project)
+    findings: List[Finding] = []
+    for code in sorted(_RULE_IMPLS):
+        findings.extend(_RULE_IMPLS[code](project, engine))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def analyze_paths(paths: Sequence[str],
+                  exclude: Sequence[str] = ()) -> List[Finding]:
+    """Parse ``paths`` into one project and run the flow rules."""
+    return analyze_project(Project.from_paths(paths, exclude=exclude))
+
+
+def analyze_source(source: str,
+                   path: str = "flowcheck.py") -> List[Finding]:
+    """Run the flow rules over a single in-memory module (tests)."""
+    return analyze_project(Project.from_sources({path: source}))

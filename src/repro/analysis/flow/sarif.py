@@ -1,0 +1,125 @@
+"""SARIF 2.1.0 serialization of lint + flow findings.
+
+One ``run`` with one ``tool.driver`` describing every TP rule (the
+single-file ``TP0xx`` set and the interprocedural ``TP1xx`` set), one
+``result`` per finding.  Grandfathered findings are emitted with a
+``suppressions`` entry of kind ``external`` (the committed baseline)
+instead of being dropped, so code-scanning consumers can distinguish
+"fixed" from "hidden".  Pragma-suppressed findings never reach this
+layer — the analyses drop them at flag time, exactly as the text
+format does.
+
+``partialFingerprints`` carries a hash of the baseline key
+``(rule, path, snippet)``, so GitHub code scanning tracks a finding
+across unrelated line moves just like the baseline file does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence
+
+from ..lint import RULES, Finding
+
+__all__ = ["SARIF_SCHEMA", "SARIF_VERSION", "rule_severity", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: rules whose findings are advisory rather than correctness-breaking
+_WARNING_RULES = frozenset({"TP104"})
+
+
+def rule_severity(code: str) -> str:
+    """SARIF level for a rule code (``error`` unless advisory)."""
+    return "warning" if code in _WARNING_RULES else "error"
+
+
+def _fingerprint(finding: Finding) -> str:
+    text = "|".join(finding.key)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
+
+
+def _rule_descriptor(code: str, description: str) -> Dict[str, object]:
+    return {
+        "id": code,
+        "name": code,
+        "shortDescription": {"text": description.split(" (")[0]},
+        "fullDescription": {"text": description},
+        "defaultConfiguration": {"level": rule_severity(code)},
+        "helpUri": ("https://github.com/tpftl/repro/blob/main/docs/"
+                    "architecture.md#static-analysis--sanitizers"),
+    }
+
+
+def _result(finding: Finding, rule_index: Dict[str, int],
+            suppressed: bool) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index.get(finding.rule, -1),
+        "level": rule_severity(finding.rule),
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {
+                    "startLine": max(1, finding.line),
+                    "startColumn": finding.col + 1,
+                    "snippet": {"text": finding.snippet},
+                },
+            },
+        }],
+        "partialFingerprints": {
+            "tpBaselineKey/v1": _fingerprint(finding),
+        },
+    }
+    if suppressed:
+        result["suppressions"] = [{
+            "kind": "external",
+            "justification": ("grandfathered in the committed "
+                              "analysis baseline"),
+        }]
+    return result
+
+
+def to_sarif(new: Sequence[Finding], grandfathered: Sequence[Finding],
+             all_rules: Dict[str, str],
+             tool_version: str = "1.0.0") -> Dict[str, object]:
+    """Build the complete SARIF 2.1.0 log document.
+
+    ``all_rules`` maps every reportable rule code to its one-line
+    description (pass ``{**RULES, **FLOW_RULES}``); codes are emitted
+    sorted so ``ruleIndex`` values are stable across runs.
+    """
+    codes = sorted(all_rules)
+    rule_index = {code: i for i, code in enumerate(codes)}
+    results: List[Dict[str, object]] = []
+    for finding in new:
+        results.append(_result(finding, rule_index, suppressed=False))
+    for finding in grandfathered:
+        results.append(_result(finding, rule_index, suppressed=True))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.analysis",
+                    "informationUri": ("https://github.com/tpftl/repro"),
+                    "version": tool_version,
+                    "rules": [_rule_descriptor(code, all_rules[code])
+                              for code in codes],
+                },
+            },
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+
+
+def default_rule_table(flow_rules: Dict[str, str]) -> Dict[str, str]:
+    """The combined lint + flow rule table for the SARIF driver."""
+    merged: Dict[str, str] = dict(RULES)
+    merged.update(flow_rules)
+    return merged

@@ -304,14 +304,29 @@ def _resolve_slots(visitors: Sequence[_FileVisitor]) -> List[Finding]:
     return findings
 
 
-def iter_python_files(paths: Sequence[str]) -> List[pathlib.Path]:
-    """All ``*.py`` files under the given files/directories, sorted."""
+def iter_python_files(paths: Sequence[str],
+                      exclude: Sequence[str] = ()) -> List[pathlib.Path]:
+    """All ``*.py`` files under the given files/directories, sorted.
+
+    ``exclude`` prunes whole subtrees by path prefix (posix form), so
+    deliberately-dirty fixture directories can sit inside a linted
+    tree: ``iter_python_files(["tests"], exclude=["tests/fixtures"])``.
+    """
+    prefixes = [pathlib.PurePosixPath(e).as_posix().rstrip("/")
+                for e in exclude]
+
+    def _excluded(path: pathlib.Path) -> bool:
+        posix = path.as_posix()
+        return any(posix == p or posix.startswith(p + "/")
+                   for p in prefixes)
+
     files: List[pathlib.Path] = []
     for raw in paths:
         path = pathlib.Path(raw)
         if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
-        elif path.suffix == ".py":
+            files.extend(f for f in sorted(path.rglob("*.py"))
+                         if not _excluded(f))
+        elif path.suffix == ".py" and not _excluded(path):
             files.append(path)
     return sorted(set(files))
 
@@ -324,11 +339,12 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     return visitor.findings + _resolve_slots([visitor])
 
 
-def lint_paths(paths: Sequence[str]) -> List[Finding]:
+def lint_paths(paths: Sequence[str],
+               exclude: Sequence[str] = ()) -> List[Finding]:
     """Lint every Python file under ``paths``; returns all findings."""
     visitors: List[_FileVisitor] = []
     findings: List[Finding] = []
-    for file in iter_python_files(paths):
+    for file in iter_python_files(paths, exclude=exclude):
         rel = file.as_posix()
         source = file.read_text(encoding="utf-8")
         in_flash = "flash" in file.parts

@@ -1,0 +1,19 @@
+"""TP103 fixture: a frozen config's mutable field escaping.
+
+``SanitizerHarness`` grabs the rule set off a frozen config and later
+mutates it in place.  Because the attribute *aliases* the config
+field, the mutation writes through to the shared config object — every
+other holder of the config silently sees the change, and two runs
+"with the same config" are no longer the same run.
+"""
+
+
+class SanitizerHarness:
+    """Keeps a live view of the config's rule selection (wrongly)."""
+
+    def __init__(self, config):
+        self.interval = config.interval
+        self.rules = config.rules  # aliases the frozen config's field
+
+    def mute(self, code):
+        self.rules.remove(code)  # writes through to the config

@@ -1,0 +1,35 @@
+"""TP104 fixture: unordered set iteration on the simulation path.
+
+``_flush_dirty`` iterates a ``set`` of dirty pages while serving the
+run path; with string/object elements the iteration order varies per
+process (hash randomization), so the flash write order — and with it
+GC timing and every downstream statistic — stops being replayable.
+The reporting helper iterates a set too, but it is *not* reachable
+from the run path and must not be flagged.
+"""
+
+
+class SetIterDevice:
+    """A device model that flushes a set-typed dirty list in set order."""
+
+    def __init__(self):
+        self._dirty = set()
+
+    def run(self, trace):
+        for request in trace:
+            self._dirty.add(request.lpn)
+        self._flush_dirty()
+
+    def _flush_dirty(self):
+        for lpn in self._dirty:  # nondeterministic order
+            self.writeback(lpn)
+        remaining = {1, 2, 3}
+        for lpn in sorted(remaining):  # deterministic: not flagged
+            self.writeback(lpn)
+
+
+def report(pages):
+    """Off the run path: set iteration here is none of TP104's business."""
+    seen = {p for p in pages}
+    for page in seen:
+        print(page)

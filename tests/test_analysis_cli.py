@@ -1,0 +1,209 @@
+"""The widened lint CLI: formats, baseline knobs, rule/path selection.
+
+Covers the acceptance surface: ``--format json`` round-trips through
+``json.loads``, ``--format sarif`` emits the required SARIF 2.1.0
+skeleton (runs / tool / driver / rules / results), and suppression —
+baseline or pragma — yields identical verdicts across all three
+formats.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.flow import FLOW_RULES
+from repro.analysis.flow.sarif import SARIF_VERSION
+from repro.analysis.lint import RULES
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+FIXTURES = ROOT / "tests" / "fixtures"
+AST_FIXTURE = FIXTURES / "tp_violations.py"
+FLOW_FIXTURE = FIXTURES / "flow" / "flow_tp101.py"
+
+
+def _lint(args, capsys):
+    code = main(["lint", *args])
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+# ----------------------------------------------------------------------
+# json format
+# ----------------------------------------------------------------------
+def test_json_round_trips(capsys):
+    code, out, err = _lint(
+        [str(AST_FIXTURE), "--no-baseline", "--format", "json"], capsys)
+    assert code == 1
+    document = json.loads(out)
+    assert document["tool"] == "repro.analysis"
+    assert document["summary"]["new"] == len(document["findings"])
+    assert document["summary"]["grandfathered"] == 0
+    for finding in document["findings"]:
+        assert set(finding) == {"rule", "path", "line", "col",
+                                "message", "snippet", "suppressed"}
+        assert finding["rule"] in RULES or finding["rule"] in FLOW_RULES
+        assert finding["suppressed"] is False
+    # status chatter goes to stderr, keeping stdout machine-parseable
+    assert "finding(s)" in err
+
+
+def test_json_includes_flow_findings(capsys):
+    code, out, _ = _lint(
+        [str(FLOW_FIXTURE), "--no-baseline", "--format", "json"], capsys)
+    assert code == 1
+    rules = {f["rule"] for f in json.loads(out)["findings"]}
+    assert rules == {"TP101"}
+
+
+def test_json_clean_tree(capsys):
+    code, out, _ = _lint(
+        [str(SRC), "--no-baseline", "--format", "json"], capsys)
+    assert code == 0
+    assert json.loads(out)["findings"] == []
+
+
+# ----------------------------------------------------------------------
+# sarif format
+# ----------------------------------------------------------------------
+def _sarif(args, capsys):
+    code, out, _ = _lint([*args, "--format", "sarif"], capsys)
+    return code, json.loads(out)
+
+
+def test_sarif_required_fields(capsys):
+    code, document = _sarif([str(AST_FIXTURE), "--no-baseline"], capsys)
+    assert code == 1
+    assert document["version"] == SARIF_VERSION == "2.1.0"
+    assert document["$schema"].startswith("https://")
+    assert len(document["runs"]) == 1
+    run = document["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro.analysis"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert rule_ids == sorted(set(RULES) | set(FLOW_RULES))
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in (
+            "error", "warning", "note")
+    assert run["results"], "fixture must produce results"
+    for result in run["results"]:
+        assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+        assert result["message"]["text"]
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"]
+        assert location["region"]["startLine"] >= 1
+        assert result["partialFingerprints"]["tpBaselineKey/v1"]
+
+
+def test_sarif_baseline_entries_become_suppressions(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    assert main(["lint", str(AST_FIXTURE), "--write-baseline",
+                 "--baseline", str(baseline)]) == 0
+    capsys.readouterr()
+    code, document = _sarif(
+        [str(AST_FIXTURE), "--baseline", str(baseline)], capsys)
+    assert code == 0
+    results = document["runs"][0]["results"]
+    assert results
+    for result in results:
+        kinds = [s["kind"] for s in result["suppressions"]]
+        assert kinds == ["external"]
+
+
+def test_sarif_pragma_suppression_matches_text(tmp_path, capsys):
+    source = (
+        '"""Fixture."""\n'
+        "class Dev:\n"
+        "    def run(self, trace):\n"
+        "        for lpn in {1, 2}:  # tp: allow=TP104 - commutative\n"
+        "            self.emit(lpn)\n")
+    target = tmp_path / "suppressed.py"
+    target.write_text(source, encoding="utf-8")
+    verdicts = {}
+    for format_ in ("text", "json", "sarif"):
+        code, out, _ = _lint(
+            [str(target), "--no-baseline", "--format", format_], capsys)
+        verdicts[format_] = code
+        if format_ == "json":
+            assert json.loads(out)["findings"] == []
+        if format_ == "sarif":
+            assert json.loads(out)["runs"][0]["results"] == []
+    assert verdicts == {"text": 0, "json": 0, "sarif": 0}
+
+
+# ----------------------------------------------------------------------
+# --fail-stale / --disable / --exclude / --output
+# ----------------------------------------------------------------------
+def test_fail_stale_flag(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"findings": [
+        {"rule": "TP001", "path": "gone.py", "snippet": "time.time()"}
+    ]}), encoding="utf-8")
+    args = [str(SRC / "repro" / "analysis" / "flow"),
+            "--baseline", str(baseline)]
+    assert main(["lint", *args]) == 0
+    capsys.readouterr()
+    code, _, err = _lint([*args, "--fail-stale", "--format", "json"],
+                         capsys)
+    assert code == 1
+    assert "no longer triggered" in err
+
+
+def test_stale_entries_reported_in_json_summary(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"findings": [
+        {"rule": "TP001", "path": "gone.py", "snippet": "time.time()"}
+    ]}), encoding="utf-8")
+    code, out, _ = _lint(
+        [str(SRC / "repro" / "analysis" / "flow"), "--format", "json",
+         "--baseline", str(baseline)], capsys)
+    assert code == 0
+    stale = json.loads(out)["summary"]["stale_baseline_entries"]
+    assert stale == [{"rule": "TP001", "path": "gone.py",
+                      "snippet": "time.time()"}]
+
+
+def test_disable_filters_rules(capsys):
+    code, out, _ = _lint(
+        [str(FLOW_FIXTURE), "--no-baseline", "--format", "json",
+         "--disable", "TP101"], capsys)
+    assert code == 0
+    assert json.loads(out)["findings"] == []
+
+
+def test_disable_accepts_comma_separated_codes(capsys):
+    code, out, _ = _lint(
+        [str(AST_FIXTURE), str(FLOW_FIXTURE), "--no-baseline",
+         "--format", "json", "--disable",
+         ",".join(sorted(set(RULES) | set(FLOW_RULES)))], capsys)
+    assert code == 0
+    assert json.loads(out)["findings"] == []
+
+
+def test_exclude_prunes_subtrees(capsys):
+    """The CI test-tree invocation: fixtures excluded, and the rules
+    tests legitimately break (assert, direct Block ops) disabled."""
+    code, _, _ = _lint(
+        [str(ROOT / "tests"), str(ROOT / "benchmarks"), "--no-baseline",
+         "--exclude", str(FIXTURES),
+         "--disable", "TP003,TP006,TP102"], capsys)
+    assert code == 0
+
+
+def test_output_writes_document_to_file(tmp_path, capsys):
+    target = tmp_path / "report.sarif"
+    code, out, _ = _lint(
+        [str(AST_FIXTURE), "--no-baseline", "--format", "sarif",
+         "--output", str(target)], capsys)
+    assert code == 1
+    assert out == ""
+    document = json.loads(target.read_text(encoding="utf-8"))
+    assert document["version"] == SARIF_VERSION
+
+
+def test_unknown_format_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["lint", str(SRC), "--format", "xml"])

@@ -1,0 +1,351 @@
+"""The interprocedural flow pass: call graph, state inventory, TP1xx.
+
+The two acceptance-critical mutation tests live here: the PR-4
+channel-queue leak fixture must be flagged by TP101 while the fixed
+``src/repro/ssd/parallel.py`` stays clean, and the PR-2 hybrid
+``_invalidate_remaining`` bypass fixture must be flagged by TP102
+through one level of helper indirection.
+"""
+
+import pathlib
+
+from repro.analysis.flow import (FLOW_RULES, FlowEngine, Project,
+                                 analyze_paths, analyze_source,
+                                 fixed_point)
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+FLOW_FIXTURES = ROOT / "tests" / "fixtures" / "flow"
+
+
+def _codes(source):
+    return {finding.rule for finding in analyze_source(source)}
+
+
+# ----------------------------------------------------------------------
+# Acceptance gates
+# ----------------------------------------------------------------------
+def test_src_tree_is_flow_clean():
+    """Every true TP1xx finding in src/ is fixed, not grandfathered."""
+    assert analyze_paths([str(SRC)]) == []
+
+
+def test_each_fixture_triggers_exactly_its_rule():
+    for code in sorted(FLOW_RULES):
+        fixture = FLOW_FIXTURES / f"flow_{code.lower()}.py"
+        findings = analyze_paths([str(fixture)])
+        assert {f.rule for f in findings} == {code}, (code, findings)
+        assert len(findings) == 1, (code, findings)
+
+
+# ----------------------------------------------------------------------
+# TP101: the PR-4 bug class (mutation test)
+# ----------------------------------------------------------------------
+def test_tp101_flags_the_pr4_queue_leak():
+    """Per-channel queues init'd in __init__, mutated in dispatch,
+    absent from the reset path -> flagged, naming the attribute."""
+    findings = analyze_paths([str(FLOW_FIXTURES / "flow_tp101.py")])
+    assert [f.rule for f in findings] == ["TP101"]
+    assert "_cursor" in findings[0].message
+    assert "_reset_queues" in findings[0].message
+
+
+def test_tp101_accepts_the_fixed_parallel_device():
+    """The repaired ChannelSSDevice resets everything: no findings."""
+    findings = analyze_paths([str(SRC / "repro" / "ssd")])
+    assert [f for f in findings if f.rule == "TP101"] == []
+
+
+def test_tp101_mutation_without_any_reset_of_attr():
+    source = (
+        "class Dev:\n"
+        "    def __init__(self):\n"
+        "        self.q = []\n"
+        "    def _reset_queues(self):\n"
+        "        pass\n"
+        "    def run(self, trace):\n"
+        "        self.q.append(trace)\n"
+    )
+    assert "TP101" in _codes(source)
+
+
+def test_tp101_reset_through_inherited_helper():
+    """Reset-path attribute stores are found through self-call closure
+    and through the class hierarchy."""
+    source = (
+        "class Base:\n"
+        "    def _reset_queues(self):\n"
+        "        self._clear()\n"
+        "    def run(self, trace):\n"
+        "        self.q.append(trace)\n"
+        "class Dev(Base):\n"
+        "    def _clear(self):\n"
+        "        self.q = []\n"
+    )
+    assert "TP101" not in _codes(source)
+
+
+def test_tp101_fresh_rebind_on_run_path_is_initialization():
+    """``self.x = []`` inside run() is a per-run init, not a leak."""
+    source = (
+        "class Dev:\n"
+        "    def _reset_queues(self):\n"
+        "        pass\n"
+        "    def run(self, trace):\n"
+        "        self.seen = []\n"
+        "        self.seen.append(trace)\n"
+    )
+    assert "TP101" not in _codes(source)
+
+
+def test_tp101_self_referential_rebind_is_a_leak():
+    source = (
+        "class Dev:\n"
+        "    def _reset_queues(self):\n"
+        "        pass\n"
+        "    def run(self, trace):\n"
+        "        self.total = self.total + 1\n"
+    )
+    assert "TP101" in _codes(source)
+
+
+def test_tp101_ignores_classes_without_reset_protocol():
+    """FTLs age across requests by design; no reset method, no rule."""
+    source = (
+        "class AgingFTL:\n"
+        "    def serve_request(self, request):\n"
+        "        self.cache.append(request)\n"
+    )
+    assert "TP101" not in _codes(source)
+
+
+# ----------------------------------------------------------------------
+# TP102: the PR-2 bug class (mutation test)
+# ----------------------------------------------------------------------
+def test_tp102_flags_bypass_through_helper_indirection():
+    findings = analyze_paths([str(FLOW_FIXTURES / "flow_tp102.py")])
+    assert [f.rule for f in findings] == ["TP102"]
+    assert "_invalidate_remaining" in findings[0].message
+    assert "_switch_merge" in findings[0].snippet or (
+        "_invalidate_remaining" in findings[0].snippet)
+
+
+def test_tp102_two_levels_of_indirection():
+    source = (
+        "class FTL:\n"
+        "    def serve(self):\n"
+        "        self.merge()\n"
+        "    def merge(self):\n"
+        "        self.wipe()\n"
+        "    def wipe(self):\n"
+        "        self.block.erase()\n"
+    )
+    findings = [f for f in analyze_source(source) if f.rule == "TP102"]
+    # both the serve->merge and merge->wipe call sites are tainted
+    assert len(findings) == 2
+
+
+def test_tp102_routed_through_flash_is_clean():
+    source = (
+        "class FTL:\n"
+        "    def merge(self):\n"
+        "        self.drop()\n"
+        "    def drop(self):\n"
+        "        self.flash.invalidate(3)\n"
+    )
+    assert "TP102" not in _codes(source)
+
+
+def test_tp102_suppressing_the_source_clears_the_chain():
+    """A justified TP006 pragma on the direct op un-taints callers."""
+    source = (
+        "class FTL:\n"
+        "    def merge(self):\n"
+        "        self.wipe()\n"
+        "    def wipe(self):\n"
+        "        self.block.erase()  # tp: allow=TP006 - scan rebuild\n"
+    )
+    assert "TP102" not in _codes(source)
+
+
+def test_hybrid_ftl_merge_paths_are_tp102_clean():
+    """The fixed HybridFTL routes every page op through self.flash."""
+    findings = analyze_paths([str(SRC / "repro" / "ftl")])
+    assert [f for f in findings if f.rule == "TP102"] == []
+
+
+# ----------------------------------------------------------------------
+# TP103 / TP104
+# ----------------------------------------------------------------------
+def test_tp103_alias_then_mutate_in_subclass():
+    source = (
+        "class Base:\n"
+        "    def __init__(self, config):\n"
+        "        self.rules = config.rules\n"
+        "class Sub(Base):\n"
+        "    def mute(self, code):\n"
+        "        self.rules.discard(code)\n"
+    )
+    findings = [f for f in analyze_source(source) if f.rule == "TP103"]
+    assert len(findings) == 1
+    assert "config.rules" in findings[0].message
+
+
+def test_tp103_rebinding_is_not_an_escape():
+    source = (
+        "class Harness:\n"
+        "    def __init__(self, config):\n"
+        "        self.rules = config.rules\n"
+        "    def mute(self, code):\n"
+        "        self.rules = self.rules - {code}\n"
+    )
+    assert "TP103" not in _codes(source)
+
+
+def test_tp104_sorted_iteration_is_clean():
+    source = (
+        "class Dev:\n"
+        "    def run(self, trace):\n"
+        "        pending = set(trace)\n"
+        "        for lpn in sorted(pending):\n"
+        "            self.emit(lpn)\n"
+    )
+    assert "TP104" not in _codes(source)
+
+
+def test_tp104_set_attr_through_hierarchy():
+    source = (
+        "class Base:\n"
+        "    def __init__(self):\n"
+        "        self._dirty = set()\n"
+        "class Dev(Base):\n"
+        "    def run(self, trace):\n"
+        "        for lpn in self._dirty:\n"
+        "            self.emit(lpn)\n"
+    )
+    assert "TP104" in _codes(source)
+
+
+def test_tp104_off_run_path_is_exempt():
+    source = (
+        "def report(pages):\n"
+        "    for page in {p for p in pages}:\n"
+        "        print(page)\n"
+    )
+    assert "TP104" not in _codes(source)
+
+
+def test_flow_pragma_suppression():
+    source = (
+        "class Dev:\n"
+        "    def run(self, trace):\n"
+        "        pending = set(trace)\n"
+        "        for lpn in pending:  # tp: allow=TP104 - commutative\n"
+        "            self.emit(lpn)\n"
+    )
+    assert _codes(source) == set()
+
+
+# ----------------------------------------------------------------------
+# Call graph / engine internals
+# ----------------------------------------------------------------------
+def test_callgraph_resolves_relative_imports():
+    project = Project.from_sources({
+        "src/pkg/flash/mem.py": (
+            '"""Flash."""\n'
+            "class FlashMemory:\n"
+            "    def program(self):\n"
+            "        pass\n"),
+        "src/pkg/ftl/base.py": (
+            '"""FTL."""\n'
+            "from ..flash.mem import FlashMemory\n"
+            "class FTL:\n"
+            "    def __init__(self):\n"
+            "        self.flash = FlashMemory()\n"
+            "    def write(self):\n"
+            "        self.flash.program()\n"),
+    })
+    fn = project.functions["pkg.ftl.base.FTL.write"]
+    targets = set()
+    for site in fn.calls:
+        targets |= project.resolve_call(fn, site)
+    assert "pkg.flash.mem.FlashMemory.program" in targets
+
+
+def test_callgraph_virtual_dispatch_includes_overrides():
+    project = Project.from_sources({"m.py": (
+        '"""M."""\n'
+        "class Base:\n"
+        "    def run(self):\n"
+        "        self.step()\n"
+        "    def step(self):\n"
+        "        pass\n"
+        "class Sub(Base):\n"
+        "    def step(self):\n"
+        "        pass\n")})
+    fn = project.functions["m.Base.run"]
+    targets = set()
+    for site in fn.calls:
+        targets |= project.resolve_call(fn, site)
+    assert targets == {"m.Base.step", "m.Sub.step"}
+
+
+def test_effective_methods_nearest_definition_wins():
+    project = Project.from_sources({"m.py": (
+        '"""M."""\n'
+        "class A:\n"
+        "    def f(self):\n"
+        "        pass\n"
+        "class B(A):\n"
+        "    def f(self):\n"
+        "        pass\n"
+        "class C(B):\n"
+        "    pass\n")})
+    table = project.effective_methods("m.C")
+    assert table["f"].qname == "m.B.f"
+
+
+def test_state_inventory_catches_all_mutation_shapes():
+    project = Project.from_sources({"m.py": (
+        '"""M."""\n'
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self.a = []\n"
+        "    def f(self):\n"
+        "        self.a.append(1)\n"
+        "        self.a[0] = 2\n"
+        "        self.b += 1\n"
+        "        del self.a[0]\n")})
+    state = project.classes["m.S"].state
+    kinds = {(e.attr, e.kind) for e in state.mutations["f"]}
+    assert ("a", "mutcall") in kinds
+    assert ("a", "subscript") in kinds
+    assert ("b", "augassign") in kinds
+
+
+def test_fixed_point_reaches_closure_over_cycles():
+    edges = {"a": ["b"], "b": ["c", "a"], "c": []}
+    engine_facts = fixed_point(edges, {"a": frozenset({"X"})})
+    assert engine_facts["c"] == frozenset({"X"})
+    assert engine_facts["a"] == frozenset({"X"})
+
+
+def test_engine_backward_closure():
+    project = Project.from_sources({"m.py": (
+        '"""M."""\n'
+        "def leaf():\n"
+        "    pass\n"
+        "def mid():\n"
+        "    leaf()\n"
+        "def top():\n"
+        "    mid()\n")})
+    engine = FlowEngine(project)
+    assert engine.reaching(["m.leaf"]) == {"m.leaf", "m.mid", "m.top"}
+
+
+def test_flow_findings_share_lint_baseline_keys():
+    findings = analyze_paths([str(FLOW_FIXTURES / "flow_tp101.py")])
+    rule, path, snippet = findings[0].key
+    assert rule == "TP101"
+    assert path.endswith("flow_tp101.py")
+    assert snippet == findings[0].snippet

@@ -2,13 +2,21 @@
 
 Every module, public class and public function in ``repro`` must carry
 a docstring (deliverable (e) of the reproduction: doc comments on every
-public item), and the README's quickstart snippet must actually run.
+public item), the README's quickstart snippet must actually run, and
+the rule tables in ``docs/architecture.md`` must list exactly the
+codes the analysis registries define (no phantom or undocumented
+rules).
 """
 
 import ast
 import pathlib
+import re
 
 import pytest
+
+from repro.analysis.checkers import SAN_RULES
+from repro.analysis.flow import FLOW_RULES
+from repro.analysis.lint import RULES
 
 SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
 MODULES = sorted(SRC.rglob("*.py"))
@@ -71,3 +79,25 @@ def test_design_and_experiments_docs_exist():
         path = root / name
         assert path.exists(), name
         assert len(path.read_text("utf-8")) > 500, name
+
+
+def _documented_codes(text, prefix):
+    """Rule codes introduced as ``* **CODE — ...`` bullets."""
+    return set(re.findall(rf"^\* \*\*({prefix}\d+) — ",
+                          text, flags=re.MULTILINE))
+
+
+def test_architecture_rule_tables_match_registries():
+    """docs/architecture.md documents exactly the registered rules.
+
+    Adding a rule without documenting it — or documenting a rule that
+    no longer exists — fails here, keeping the three rule tables (TP
+    lint, TP flow, SAN sanitizer) from drifting out of sync with
+    ``RULES``, ``FLOW_RULES`` and ``SAN_RULES``.
+    """
+    text = (SRC.parent.parent / "docs" / "architecture.md").read_text(
+        "utf-8")
+    documented_tp = _documented_codes(text, "TP")
+    documented_san = _documented_codes(text, "SAN")
+    assert documented_tp == set(RULES) | set(FLOW_RULES)
+    assert documented_san == set(SAN_RULES)
