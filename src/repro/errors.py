@@ -10,6 +10,9 @@ invariant violation indicates a simulator bug and should propagate.
 
 from __future__ import annotations
 
+import dataclasses
+from typing import Any, Dict, Sequence
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
@@ -133,3 +136,92 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment runner was asked for an unknown experiment/FTL."""
+
+
+class RunnerError(ExperimentError):
+    """Base class for supervised-execution failures in the runner.
+
+    Everything the supervision layer reports derives from this, so a
+    caller that already guards experiments with ``except
+    ExperimentError`` keeps working unchanged when supervision is on.
+    """
+
+
+class CellTimeoutError(RunnerError):
+    """A simulation cell exceeded its wall-clock watchdog timeout.
+
+    The supervisor kills the worker process and requeues the cell; this
+    type appears as the ``error_type`` of the resulting attempt record.
+    Timeouts always count as transient (the next attempt may be
+    scheduled on a less loaded machine), so they are retried up to the
+    policy's attempt budget.
+    """
+
+
+class WorkerCrashError(RunnerError):
+    """A worker process died without delivering a result.
+
+    Covers OOM kills, segfaults in native code, ``os._exit`` and the
+    shapes that surface as ``BrokenProcessPool`` under a shared pool.
+    Always transient: the cell is requeued with backoff.
+    """
+
+
+@dataclasses.dataclass(frozen=True)
+class CellFailure:
+    """Structured record of one permanently failed cell.
+
+    This is data, not an exception: a quarantined cell becomes one of
+    these in the bench report, the journal and the failure manifest,
+    while the rest of the matrix keeps running.  ``transient`` records
+    whether the attempts were retryable (worker death, timeout,
+    ``OSError``) or the first attempt failed deterministically.
+    """
+
+    key: str
+    label: str
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+    elapsed_s: float
+    transient: bool
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The record as a JSON-safe dict (journal/manifest encoding)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "CellFailure":
+        """Rebuild a record from :meth:`to_payload` output."""
+        return cls(**{f.name: payload[f.name]
+                      for f in dataclasses.fields(cls)})
+
+    def summary(self) -> str:
+        """One-line human-readable description of the failure."""
+        kind = "transient" if self.transient else "deterministic"
+        return (f"{self.label}: {self.error_type}: {self.message} "
+                f"({kind}, {self.attempts} attempt"
+                f"{'s' if self.attempts != 1 else ''}, "
+                f"{self.elapsed_s:.1f}s)")
+
+
+class MatrixFailureError(RunnerError):
+    """One or more cells of a batch were quarantined.
+
+    Raised *after* every other cell of the batch has completed (and
+    been committed to the run cache), so no finished work is lost: a
+    rerun — or ``--resume`` — only retries the failed cells.  Carries
+    the :class:`CellFailure` records as :attr:`failures`.
+    """
+
+    def __init__(self, failures: "Sequence[CellFailure]") -> None:
+        self.failures = list(failures)
+        lines = "; ".join(f.summary() for f in self.failures[:5])
+        extra = (f" (+{len(self.failures) - 5} more)"
+                 if len(self.failures) > 5 else "")
+        super().__init__(
+            f"{len(self.failures)} cell"
+            f"{'s' if len(self.failures) != 1 else ''} quarantined after "
+            f"supervision: {lines}{extra}; completed cells are cached — "
+            f"rerun to retry only the failures")

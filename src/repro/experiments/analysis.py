@@ -82,7 +82,9 @@ def run(scale: ExperimentScale) -> ExperimentResult:
     """Run the FTLSan-at-full-rate sweep over every registered FTL.
 
     The per-FTL sweeps are independent and deterministic, so they fan
-    out across the default runner's process pool when ``jobs > 1``.
+    out across the default runner's supervised workers when
+    ``jobs > 1`` — with watchdog/retry/quarantine semantics identical
+    to the simulation cells (see ``repro.experiments.supervisor``).
     """
     from .runner import get_runner
     num_ops = 2_500 if scale.name == "full" else 800

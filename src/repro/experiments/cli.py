@@ -12,6 +12,13 @@ Usage::
 Finished simulation cells persist in ``results/.runcache`` (override
 with ``--cache-dir``/``$REPRO_RUNCACHE``, disable with ``--no-cache``,
 reset with ``--wipe-cache``), so re-runs only simulate what changed.
+
+Execution is supervised: ``--timeout`` arms a per-cell watchdog,
+``--retries`` bounds backoff retries of transient failures, persistent
+failures become a structured manifest (``failure-manifest.json`` next
+to the cache) instead of an escaped traceback, and Ctrl-C drains
+completed cells into the cache before exiting so ``--resume`` can
+finish an interrupted matrix without repeating any work.
 """
 
 from __future__ import annotations
@@ -19,11 +26,16 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
+from ..errors import RunnerError
 from .common import ExperimentScale
 from .registry import EXPERIMENTS, run_experiment
 from .runner import configure_runner
+
+#: manifest written next to the run cache when cells are quarantined
+MANIFEST_NAME = "failure-manifest.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +82,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="write runner bench data (per-cell wall-clock, speedup vs "
              "serial, cache hits) to this JSON file, e.g. "
              "BENCH_runner.json")
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SEC",
+        help="per-cell wall-clock watchdog: a cell exceeding this is "
+             "killed, requeued with backoff, and eventually quarantined "
+             "(default: no watchdog)")
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="attempt budget per cell for transient failures — worker "
+             "death, OSError, watchdog timeouts (default 3)")
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted/failed session: append to the "
+             "runner journal and serve previously completed cells from "
+             "the run cache")
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="abort the matrix at the first quarantined cell instead "
+             "of completing the remaining cells first")
     return parser
 
 
@@ -105,32 +135,78 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs,
         cache_dir=(False if args.no_cache
                    else args.cache_dir if args.cache_dir is not None
-                   else True))
+                   else True),
+        timeout_s=args.timeout,
+        retries=args.retries,
+        fail_fast=args.fail_fast,
+        resume=args.resume)
     if args.wipe_cache and runner.cache is not None:
         removed = runner.cache.wipe()
         print(f"wiped {removed} cached runs", file=sys.stderr)
+    if args.resume and runner.journal is not None:
+        prior = runner.journal.prior
+        print(f"resuming: {len(prior.completed)} cells previously "
+              f"completed, {len(prior.failed)} previously failed"
+              + (", session was interrupted" if prior.interrupted
+                 else ""), file=sys.stderr)
     json_dir = None
     if args.json is not None:
-        from pathlib import Path
         json_dir = Path(args.json)
         json_dir.mkdir(parents=True, exist_ok=True)
-    for experiment_id in ids:
-        started = time.time()  # tp: allow=TP002 - CLI progress display
-        result = run_experiment(experiment_id, scale)
-        elapsed = time.time() - started  # tp: allow=TP002 - CLI progress display
-        print(result.render())
-        print(f"({elapsed:.1f}s)\n")
-        if json_dir is not None:
-            path = json_dir / f"{experiment_id}_{scale.name}.json"
-            path.write_text(result.to_json(), encoding="utf-8")
-    if args.bench is not None:
-        target = runner.write_bench(args.bench)
-        totals = runner.bench_report()["totals"]
-        print(f"bench: {totals['cells']} cells, "
-              f"{totals['cache_hits']} cache hits, "
-              f"speedup vs serial {totals['speedup_vs_serial']:.2f}x "
-              f"-> {target}", file=sys.stderr)
+    try:
+        for experiment_id in ids:
+            started = time.time()  # tp: allow=TP002 - CLI progress display
+            result = run_experiment(experiment_id, scale)
+            elapsed = time.time() - started  # tp: allow=TP002 - CLI progress display
+            print(result.render())
+            print(f"({elapsed:.1f}s)\n")
+            if json_dir is not None:
+                path = json_dir / f"{experiment_id}_{scale.name}.json"
+                path.write_text(result.to_json(), encoding="utf-8")
+    except KeyboardInterrupt:
+        cached = (runner.cache.stats()["stores"]
+                  if runner.cache is not None else 0)
+        print(f"\ninterrupted: {cached} completed cells committed to "
+              f"the run cache; rerun with --resume to finish the "
+              f"remaining cells", file=sys.stderr)
+        _write_bench(runner, args)
+        return 130
+    except RunnerError as exc:
+        manifest = _write_manifest(runner)
+        print(f"supervision: {exc}", file=sys.stderr)
+        for failure in runner.failures:
+            print(f"  quarantined {failure.summary()}", file=sys.stderr)
+        if manifest is not None:
+            print(f"failure manifest -> {manifest}", file=sys.stderr)
+        _write_bench(runner, args)
+        return 1
+    _write_bench(runner, args)
     return 0
+
+
+def _write_bench(runner, args) -> None:
+    """Honour ``--bench`` (also on the interrupt/failure exits)."""
+    if args.bench is None:
+        return
+    target = runner.write_bench(args.bench)
+    totals = runner.bench_report()["totals"]
+    print(f"bench: {totals['cells']} cells, "
+          f"{totals['cache_hits']} cache hits, "
+          f"{totals['failed']} failed, {totals['retries']} retries, "
+          f"speedup vs serial {totals['speedup_vs_serial']:.2f}x "
+          f"-> {target}", file=sys.stderr)
+
+
+def _write_manifest(runner) -> Optional[Path]:
+    """Write the failure manifest next to the run cache (or results/)."""
+    if runner.cache is not None and runner.cache.directory is not None:
+        target = runner.cache.directory / MANIFEST_NAME
+    else:
+        target = Path("results") / MANIFEST_NAME
+    try:
+        return runner.write_failure_manifest(target)
+    except OSError:
+        return None
 
 
 if __name__ == "__main__":  # pragma: no cover

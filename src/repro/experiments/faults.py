@@ -111,9 +111,12 @@ def _powerloss_row(ftl_name: str, scale: ExperimentScale) -> List[object]:
 def run(scale: ExperimentScale) -> ExperimentResult:
     """Run the media-fault and power-loss sweeps over every FTL.
 
-    Both sweeps fan out per-FTL across the default runner's process
-    pool (they are deterministic and independent per FTL); with
-    ``jobs=1`` they run serially as before.
+    Both sweeps fan out per-FTL across the default runner's supervised
+    workers (they are deterministic and independent per FTL); with
+    ``jobs=1`` they run serially as before.  Under ``--jobs``/
+    ``--timeout`` a hung or crashed per-FTL row is retried and, if
+    persistent, quarantined as a structured failure after the other
+    rows complete (:class:`~repro.errors.MatrixFailureError`).
     """
     from .runner import get_runner
     runner = get_runner()

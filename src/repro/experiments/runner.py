@@ -13,14 +13,25 @@ as wiscsee use to stay fast:
   as JSON under ``results/.runcache/<digest>.json``.  Entries carry a
   schema version and a fingerprint of the simulator's source code, so a
   cache survives interpreter restarts but never a code change.  Corrupt
-  or stale files are silently ignored and recomputed, never fatal.
-* :class:`ParallelRunner` — fans cells out over a
-  ``ProcessPoolExecutor`` (``--jobs N`` / ``REPRO_JOBS``), deduplicates
-  identical cells, consults the cache first, and records per-cell
-  wall-clock so :meth:`ParallelRunner.write_bench` can emit
-  ``BENCH_runner.json`` (wall-clock per cell, speedup vs serial, cache
-  hit counts).  With ``jobs=1`` it degrades to a plain serial loop with
-  no executor, so tests and small runs behave exactly as before.
+  files are quarantined to ``corrupt/`` and recomputed (surfaced via
+  :meth:`RunCache.stats`), never fatal; stale-version files are misses.
+* :class:`ParallelRunner` — fans cells out across supervised worker
+  processes (``--jobs N`` / ``REPRO_JOBS``), deduplicates identical
+  cells, consults the cache first, and records per-cell wall-clock so
+  :meth:`ParallelRunner.write_bench` can emit ``BENCH_runner.json``
+  (wall-clock per cell, speedup vs serial, cache hit counts).  With
+  ``jobs=1`` it degrades to a plain serial loop with no worker
+  processes, so tests and small runs behave exactly as before.
+
+Execution is *supervised* (see :mod:`repro.experiments.supervisor`):
+cells get a wall-clock watchdog (``--timeout``), transient failures —
+worker death, ``BrokenProcessPool``, ``OSError`` — are retried with
+exponential backoff and seeded jitter (``--retries``), persistently
+failing cells are quarantined as structured
+:class:`~repro.errors.CellFailure` records instead of aborting the
+matrix, a JSONL journal under the cache directory makes interrupted
+matrices resumable (``--resume``), and repeated worker-spawn failures
+degrade the batch to serial instead of dying.
 
 Every cell is deterministic: traces are generated from per-workload
 seeds and the simulator itself contains no unseeded randomness (the TP
@@ -36,19 +47,21 @@ import json
 import os
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from pathlib import Path
 from typing import (Any, Callable, Dict, List, Optional, Sequence,
                     Tuple)
 
 from ..config import TPFTLConfig
-from ..errors import ExperimentError
+from ..errors import CellFailure, ExperimentError, MatrixFailureError
 from ..ftl import make_ftl
 from ..metrics import CacheSample, CacheSampler, FTLMetrics, ResponseStats
 from ..ssd import RunResult, simulate
 from ..types import Trace
 from ..workloads import make_preset
 from .common import ExperimentScale, simulation_config
+from .supervisor import (JOURNAL_NAME, Journal, RetryPolicy, Supervisor,
+                         Task)
 
 #: bump when the cache-file layout or RunResult encoding changes
 CACHE_SCHEMA = 2
@@ -173,12 +186,6 @@ def _timed_execute(spec: RunSpec) -> Tuple[RunResult, float]:
     return result, elapsed
 
 
-def _call_star(payload: Tuple[Callable[..., Any], Tuple]) -> Any:
-    """Pool worker for :meth:`ParallelRunner.map`: ``fn(*args)``."""
-    fn, args = payload
-    return fn(*args)
-
-
 # ----------------------------------------------------------------------
 # RunResult <-> JSON
 # ----------------------------------------------------------------------
@@ -297,8 +304,14 @@ class RunCache:
     :data:`MEMORY_CACHE_ENTRIES`, evicting the oldest entry — unlike its
     predecessor ``_MATRIX_CACHE`` it cannot grow without bound).  Level 2
     is one JSON file per cell under ``directory``; files from another
-    schema or code version, and unreadable/corrupt files, are ignored.
+    schema or code version are misses, and undecodable files are
+    quarantined into ``directory/corrupt/`` and counted in
+    :meth:`stats` — a flaky disk surfaces as a number, not a silent
+    recompute.
     """
+
+    #: subdirectory receiving quarantined (undecodable) cache files
+    CORRUPT_DIR = "corrupt"
 
     def __init__(self,
                  directory: "Path | str | None | bool" = True) -> None:
@@ -313,6 +326,9 @@ class RunCache:
         self.misses = 0
         self.stores = 0
         self.invalid = 0
+        self.corrupt = 0
+        self.write_errors = 0
+        self._warned_unwritable = False
 
     # -- lookup ---------------------------------------------------------
     def get(self, spec: RunSpec) -> Optional[Tuple[RunResult, float]]:
@@ -346,9 +362,27 @@ class RunCache:
         except FileNotFoundError:
             return None
         except Exception:
-            # corrupt/truncated/stale-shaped file: recompute, never fail
-            self.invalid += 1
+            # corrupt/truncated file: quarantine it, count it, recompute
+            self.corrupt += 1
+            self._quarantine(path)
             return None
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an undecodable cache file aside for post-mortem.
+
+        The file lands in ``directory/corrupt/`` (best-effort: a
+        read-only cache directory leaves it in place) so the evidence
+        of a flaky disk or torn write survives instead of being
+        clobbered by the recomputed entry.
+        """
+        if self.directory is None:
+            return
+        target_dir = self.directory / self.CORRUPT_DIR
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            pass
 
     # -- store ----------------------------------------------------------
     def put(self, spec: RunSpec, result: RunResult,
@@ -378,9 +412,17 @@ class RunCache:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
             self.stores += 1
-        except OSError:
-            # read-only filesystem etc.: run uncached rather than fail
-            pass
+        except OSError as exc:
+            # read-only filesystem etc.: run uncached rather than fail,
+            # but say so once — a cache that never persists should not
+            # masquerade as a working cache
+            self.write_errors += 1
+            if not self._warned_unwritable:
+                self._warned_unwritable = True
+                warnings.warn(
+                    f"run cache directory {self.directory} is not "
+                    f"writable ({exc}); results will not persist "
+                    f"across runs", RuntimeWarning, stacklevel=2)
 
     def _remember(self, digest: str,
                   entry: Tuple[RunResult, float]) -> None:
@@ -395,12 +437,15 @@ class RunCache:
         self._memory.clear()
 
     def wipe(self) -> int:
-        """Delete every persistent entry; returns the number removed."""
+        """Delete every persistent entry (quarantined files included);
+        returns the number removed."""
         self.clear_memory()
         if self.directory is None or not self.directory.is_dir():
             return 0
         removed = 0
-        for path in self.directory.glob("*.json"):
+        targets = list(self.directory.glob("*.json"))
+        targets += list((self.directory / self.CORRUPT_DIR).glob("*.json"))
+        for path in targets:
             try:
                 path.unlink()
                 removed += 1
@@ -409,9 +454,13 @@ class RunCache:
         return removed
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/store counters since this cache was created."""
+        """Hit/miss/store/corruption counters since this cache was
+        created.  ``corrupt`` counts quarantined undecodable files,
+        ``write_errors`` counts entries that could not be persisted."""
         return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores, "invalid": self.invalid}
+                "stores": self.stores, "invalid": self.invalid,
+                "corrupt": self.corrupt,
+                "write_errors": self.write_errors}
 
 
 def default_cache_dir() -> Optional[Path]:
@@ -430,12 +479,20 @@ def default_cache_dir() -> Optional[Path]:
 # ----------------------------------------------------------------------
 @dataclasses.dataclass
 class CellOutcome:
-    """Bench record of one cell inside a :meth:`run_specs` batch."""
+    """Bench record of one cell inside a :meth:`run_specs` batch.
+
+    ``attempts`` counts supervised execution attempts (0 for a cache
+    hit); ``failed`` marks a quarantined cell whose
+    :class:`~repro.errors.CellFailure` record appears in the bench
+    report's ``failures`` list.
+    """
 
     digest: str
     label: str
     elapsed_s: float
     cached: bool
+    attempts: int = 0
+    failed: bool = False
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -457,29 +514,66 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 
 class ParallelRunner:
-    """Executes batches of cells, cache-first, optionally in parallel.
+    """Executes batches of cells, cache-first, under supervision.
 
-    ``jobs=1`` (the default) runs cells inline with no executor — the
-    exact serial behaviour the figure modules had before this runner
-    existed.  ``jobs>1`` fans cache misses out over a process pool;
-    if the pool cannot be created (restricted environments), the batch
-    falls back to the serial path instead of failing.
+    ``jobs=1`` with no ``timeout_s`` (the default) runs cells inline
+    with no worker processes — the exact serial behaviour the figure
+    modules had before this runner existed.  ``jobs>1`` (or any
+    watchdog timeout) fans cache misses out across supervised worker
+    processes: stuck cells are killed and requeued, transient failures
+    (worker death, ``BrokenProcessPool``, ``OSError``) are retried with
+    backoff, persistent failures are quarantined as
+    :class:`~repro.errors.CellFailure` records, and repeated
+    worker-spawn failures degrade the batch to serial instead of
+    failing.  Completed cells are committed to the cache the moment
+    they finish, so a SIGINT (or a later ``--resume``) never loses
+    finished work.
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 cache: Optional[RunCache] = None) -> None:
+                 cache: Optional[RunCache] = None,
+                 timeout_s: Optional[float] = None,
+                 retry: Optional[RetryPolicy] = None,
+                 fail_fast: bool = False,
+                 journal: Optional[Journal] = None) -> None:
         self.jobs = resolve_jobs(jobs)
         #: ``None`` disables caching (every cell recomputes)
         self.cache = cache
+        #: per-cell wall-clock watchdog (``None`` = no watchdog)
+        self.timeout_s = timeout_s
+        #: transient-failure retry/backoff policy
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: quarantine the batch at the first failed cell
+        self.fail_fast = fail_fast
+        #: checkpoint/resume journal (``None`` = no journal)
+        self.journal = journal
+        #: quarantine records accumulated across batches
+        self.failures: List[CellFailure] = []
         self.outcomes: List[CellOutcome] = []
         self._batches: List[Dict[str, Any]] = []
+        self._degraded = False
+
+    def _make_supervisor(self) -> Supervisor:
+        """A supervisor configured with this runner's policy."""
+        supervisor = Supervisor(jobs=self.jobs, timeout_s=self.timeout_s,
+                                retry=self.retry,
+                                fail_fast=self.fail_fast,
+                                journal=self.journal)
+        supervisor.degraded = self._degraded
+        return supervisor
 
     # -- cell batches ---------------------------------------------------
-    def run_specs(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+    def run_specs(self, specs: Sequence[RunSpec],
+                  allow_failures: bool = False
+                  ) -> "List[Optional[RunResult]]":
         """Run a batch of cells and return results in input order.
 
         Identical specs are executed once; cached cells are served from
-        the :class:`RunCache` without simulating.
+        the :class:`RunCache` without simulating.  Quarantined cells
+        raise :class:`~repro.errors.MatrixFailureError` *after* every
+        other cell has completed and been cached — unless
+        ``allow_failures`` is set, in which case their slots hold
+        ``None`` and the records are available on :attr:`failures`.
         """
         batch_started = time.perf_counter()  # tp: allow=TP002 - harness timing
         order = [spec.digest for spec in specs]
@@ -494,45 +588,73 @@ class ParallelRunner:
                 done[digest] = (entry[0], entry[1], True)
             else:
                 pending.append(spec)
-        if len(pending) > 1 and self.jobs > 1:
-            executed = self._execute_parallel(pending)
-        else:
-            executed = [_timed_execute(spec) for spec in pending]
-        for spec, (result, elapsed) in zip(pending, executed):
-            if self.cache is not None:
-                self.cache.put(spec, result, elapsed)
-            done[spec.digest] = (result, elapsed, False)
+        failures: Dict[str, CellFailure] = {}
+        attempts: Dict[str, int] = {}
+        retries = 0
+        if pending:
+            supervisor = self._make_supervisor()
+            tasks = [Task(key=spec.digest, label=spec.label(),
+                          fn=_timed_execute, args=(spec,))
+                     for spec in pending]
+
+            def commit(key: str, value: Tuple[RunResult, float],
+                       _elapsed_s: float, _attempts: int) -> None:
+                """Cache a finished cell immediately (SIGINT-safe)."""
+                result, elapsed = value
+                if self.cache is not None:
+                    self.cache.put(unique[key], result, elapsed)
+                done[key] = (result, elapsed, False)
+
+            report = supervisor.run(tasks, on_complete=commit)
+            self._degraded = self._degraded or supervisor.degraded
+            failures = report.failures
+            attempts = report.attempts
+            retries = report.retries
+            self.failures.extend(failures.values())
         hits = misses = 0
         serial_equivalent = 0.0
         for digest in unique:
-            result, elapsed, cached = done[digest]
-            hits += cached
-            misses += not cached
-            serial_equivalent += elapsed
-            self.outcomes.append(CellOutcome(
-                digest=digest, label=unique[digest].label(),
-                elapsed_s=elapsed, cached=cached))
+            if digest in done:
+                result, elapsed, cached = done[digest]
+                hits += cached
+                misses += not cached
+                serial_equivalent += elapsed
+                self.outcomes.append(CellOutcome(
+                    digest=digest, label=unique[digest].label(),
+                    elapsed_s=elapsed, cached=cached,
+                    attempts=attempts.get(digest,
+                                          0 if cached else 1)))
+            elif digest in failures:
+                failure = failures[digest]
+                misses += 1
+                self.outcomes.append(CellOutcome(
+                    digest=digest, label=unique[digest].label(),
+                    elapsed_s=failure.elapsed_s, cached=False,
+                    attempts=failure.attempts, failed=True))
+            # cells abandoned by fail-fast are neither counted nor
+            # recorded: they never ran, and a resume will run them
         wall = time.perf_counter() - batch_started  # tp: allow=TP002 - harness timing
         self._batches.append({
             "cells": len(unique),
             "cache_hits": hits,
             "cache_misses": misses,
+            "failed": len(failures),
+            "retries": retries,
             "wall_clock_s": wall,
             "serial_equivalent_s": serial_equivalent,
             "speedup_vs_serial": (serial_equivalent / wall) if wall > 0
             else 1.0,
         })
-        return [done[digest][0] for digest in order]
-
-    def _execute_parallel(
-            self, specs: List[RunSpec]) -> List[Tuple[RunResult, float]]:
-        workers = min(self.jobs, len(specs))
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(_timed_execute, specs))
-        except (OSError, PermissionError):
-            # no usable multiprocessing primitives: degrade to serial
-            return [_timed_execute(spec) for spec in specs]
+        if self.journal is not None:
+            self.journal.record("batch", cells=len(unique),
+                                cache_hits=hits, failed=len(failures),
+                                retries=retries,
+                                wall_clock_s=round(wall, 4))
+        if failures and not allow_failures:
+            raise MatrixFailureError(
+                [failures[d] for d in unique if d in failures])
+        return [done[digest][0] if digest in done else None
+                for digest in order]
 
     # -- generic fan-out (faults/analysis registry experiments) ---------
     def map(self, fn: Callable[..., Any],
@@ -540,17 +662,29 @@ class ParallelRunner:
         """Apply ``fn(*args)`` to every args-tuple, in order.
 
         ``fn`` must be a module-level (picklable) callable; with
-        ``jobs=1`` this is a plain loop.  Results are not cached — use
-        :meth:`run_specs` for content-addressed cells.
+        ``jobs=1`` and no watchdog this is a plain loop (exceptions
+        propagate raw, as they always did).  Otherwise items run under
+        the same supervision as :meth:`run_specs` — watchdog, retry
+        with backoff, degrade-to-serial — and persistent failures raise
+        :class:`~repro.errors.MatrixFailureError` after the remaining
+        items complete.  Results are not cached — use :meth:`run_specs`
+        for content-addressed cells.
         """
         payloads = [(fn, tuple(args)) for args in items]
-        if self.jobs > 1 and len(payloads) > 1:
-            workers = min(self.jobs, len(payloads))
-            try:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    return list(pool.map(_call_star, payloads))
-            except (OSError, PermissionError):
-                pass
+        if (self.jobs > 1 or self.timeout_s is not None) and payloads:
+            name = getattr(fn, "__name__", "fn")
+            tasks = [Task(key=f"map:{index:04d}:{name}",
+                          label=f"{name}[{index}]", fn=fn, args=args)
+                     for index, (fn, args) in enumerate(payloads)]
+            supervisor = self._make_supervisor()
+            report = supervisor.run(tasks)
+            self._degraded = self._degraded or supervisor.degraded
+            if report.failures:
+                self.failures.extend(report.failures.values())
+                raise MatrixFailureError(
+                    [report.failures[t.key] for t in tasks
+                     if t.key in report.failures])
+            return [report.results[t.key] for t in tasks]
         return [fn(*args) for fn, args in payloads]
 
     # -- bench trajectory ----------------------------------------------
@@ -560,17 +694,28 @@ class ParallelRunner:
         total_wall = sum(b["wall_clock_s"] for b in self._batches)
         hits = sum(b["cache_hits"] for b in self._batches)
         misses = sum(b["cache_misses"] for b in self._batches)
+        retries = sum(b.get("retries", 0) for b in self._batches)
         return {
             "bench": "runner",
             "schema": CACHE_SCHEMA,
             "jobs": self.jobs,
+            "supervision": {
+                "timeout_s": self.timeout_s,
+                "max_attempts": self.retry.max_attempts,
+                "fail_fast": self.fail_fast,
+                "degraded_to_serial": self._degraded,
+            },
             "cells": [dataclasses.asdict(outcome)
                       for outcome in self.outcomes],
             "batches": list(self._batches),
+            "failures": [failure.to_payload()
+                         for failure in self.failures],
             "totals": {
                 "cells": hits + misses,
                 "cache_hits": hits,
                 "cache_misses": misses,
+                "failed": len(self.failures),
+                "retries": retries,
                 "wall_clock_s": total_wall,
                 "serial_equivalent_s": total_serial,
                 "speedup_vs_serial": (total_serial / total_wall)
@@ -589,6 +734,33 @@ class ParallelRunner:
                           + "\n", encoding="utf-8")
         return target
 
+    # -- failure manifest ----------------------------------------------
+    def failure_manifest(self) -> Dict[str, Any]:
+        """Every quarantined cell so far, as a JSON-safe manifest."""
+        return {
+            "manifest": "runner-failures",
+            "schema": 1,
+            "failed": len(self.failures),
+            "degraded_to_serial": self._degraded,
+            "supervision": {
+                "jobs": self.jobs,
+                "timeout_s": self.timeout_s,
+                "max_attempts": self.retry.max_attempts,
+                "fail_fast": self.fail_fast,
+            },
+            "failures": [failure.to_payload()
+                         for failure in self.failures],
+        }
+
+    def write_failure_manifest(self, path: "Path | str") -> Path:
+        """Write :meth:`failure_manifest` as JSON; returns the path."""
+        target = Path(path)
+        if target.parent != Path(""):
+            target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.failure_manifest(), indent=2)
+                          + "\n", encoding="utf-8")
+        return target
+
 
 # ----------------------------------------------------------------------
 # The process-wide default runner (what run_matrix & friends use)
@@ -600,18 +772,30 @@ def get_runner() -> ParallelRunner:
     """The shared runner, created on first use from the environment."""
     global _DEFAULT_RUNNER
     if _DEFAULT_RUNNER is None:
-        _DEFAULT_RUNNER = ParallelRunner(cache=RunCache())
+        cache = RunCache()
+        journal = (Journal(cache.directory / JOURNAL_NAME)
+                   if cache.directory is not None else None)
+        _DEFAULT_RUNNER = ParallelRunner(cache=cache, journal=journal)
     return _DEFAULT_RUNNER
 
 
 def configure_runner(jobs: Optional[int] = None,
                      cache_dir: "Path | str | None | bool" = True,
-                     ) -> ParallelRunner:
+                     timeout_s: Optional[float] = None,
+                     retries: Optional[int] = None,
+                     fail_fast: bool = False,
+                     resume: bool = False,
+                     journal: bool = True) -> ParallelRunner:
     """Install (and return) a new default runner.
 
     ``cache_dir=True`` keeps the environment-resolved default location,
     ``None``/``False`` disables persistent caching, and a path uses that
-    directory.
+    directory.  ``timeout_s``/``retries``/``fail_fast`` configure the
+    supervision layer; ``resume`` appends to (instead of rotating) the
+    journal under the cache directory, replaying the previous session's
+    completed/failed counts into :attr:`Journal.prior`.  ``journal=False``
+    disables journalling entirely (it is also off whenever persistent
+    caching is off — there is nothing to resume from without a cache).
     """
     global _DEFAULT_RUNNER
     if cache_dir in (None, False):
@@ -620,7 +804,16 @@ def configure_runner(jobs: Optional[int] = None,
         cache = RunCache()
     else:
         cache = RunCache(directory=Path(cache_dir))
-    _DEFAULT_RUNNER = ParallelRunner(jobs=jobs, cache=cache)
+    journal_obj = None
+    if journal and cache.directory is not None:
+        journal_obj = Journal(cache.directory / JOURNAL_NAME,
+                              resume=resume)
+    retry = (RetryPolicy(max_attempts=retries) if retries is not None
+             else RetryPolicy())
+    _DEFAULT_RUNNER = ParallelRunner(jobs=jobs, cache=cache,
+                                     timeout_s=timeout_s, retry=retry,
+                                     fail_fast=fail_fast,
+                                     journal=journal_obj)
     return _DEFAULT_RUNNER
 
 

@@ -52,6 +52,22 @@ class TestParser:
         assert args.cache_dir is None
         assert args.bench is None
 
+    def test_supervision_flags(self):
+        args = build_parser().parse_args(
+            ["fig6a", "--timeout", "30.5", "--retries", "5",
+             "--resume", "--fail-fast"])
+        assert args.timeout == 30.5
+        assert args.retries == 5
+        assert args.resume is True
+        assert args.fail_fast is True
+
+    def test_supervision_flag_defaults(self):
+        args = build_parser().parse_args(["fig6a"])
+        assert args.timeout is None
+        assert args.retries is None
+        assert args.resume is False
+        assert args.fail_fast is False
+
 
 class TestScaleResolution:
     def test_small_default(self):
@@ -105,6 +121,23 @@ class TestMain:
         assert warm["totals"]["cache_misses"] == 0
         assert warm["totals"]["cache_hits"] == cold["totals"]["cells"]
         assert "bench:" in capsys.readouterr().err
+
+    def test_supervision_flags_reach_the_runner(self, tmp_path, capsys):
+        from repro.experiments.runner import get_runner
+        argv = ["fig2a", "--requests", "500", "--warmup", "100",
+                "--cache-dir", str(tmp_path / "rc"),
+                "--timeout", "120", "--retries", "5"]
+        assert main(argv) == 0
+        runner = get_runner()
+        assert runner.timeout_s == 120
+        assert runner.retry.max_attempts == 5
+
+    def test_resume_reports_prior_session(self, tmp_path, capsys):
+        argv = ["fig2a", "--requests", "500", "--warmup", "100",
+                "--cache-dir", str(tmp_path / "rc")]
+        assert main(argv) == 0
+        assert main(argv + ["--resume"]) == 0
+        assert "resuming:" in capsys.readouterr().err
 
     def test_wipe_cache(self, tmp_path, capsys):
         argv = ["fig2b", "--requests", "400", "--warmup", "100",

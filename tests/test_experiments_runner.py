@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import warnings
 
 import pytest
 
@@ -135,7 +136,7 @@ class TestRunCache:
         assert entry[0] == result
         assert entry[1] == 1.5
 
-    def test_corrupt_file_is_a_miss_not_fatal(self, tmp_path):
+    def test_corrupt_file_is_quarantined_not_fatal(self, tmp_path):
         spec = tiny_spec()
         cache = RunCache(tmp_path)
         cache.put(spec, execute_spec(spec), 0.1)
@@ -143,7 +144,12 @@ class TestRunCache:
         path.write_text("{ not json", encoding="utf-8")
         fresh_cache = RunCache(tmp_path)
         assert fresh_cache.get(spec) is None
-        assert fresh_cache.invalid == 1
+        assert fresh_cache.stats()["corrupt"] == 1
+        assert fresh_cache.invalid == 0
+        # the evidence is moved aside, not clobbered by a recompute
+        assert not path.exists()
+        quarantined = tmp_path / RunCache.CORRUPT_DIR / path.name
+        assert quarantined.read_text(encoding="utf-8") == "{ not json"
 
     def test_stale_schema_is_a_miss(self, tmp_path):
         spec = tiny_spec()
@@ -179,6 +185,41 @@ class TestRunCache:
         cache.put(spec, execute_spec(spec), 0.1)
         assert cache.wipe() == 1
         assert list(tmp_path.glob("*.json")) == []
+
+    def test_wipe_includes_quarantined_files(self, tmp_path):
+        spec = tiny_spec()
+        cache = RunCache(tmp_path)
+        cache.put(spec, execute_spec(spec), 0.1)
+        other = tiny_spec(ftl="tpftl")
+        cache.put(other, execute_spec(other), 0.1)
+        (tmp_path / f"{spec.digest}.json").write_text("torn",
+                                                      encoding="utf-8")
+        fresh = RunCache(tmp_path)
+        assert fresh.get(spec) is None  # quarantines the torn file
+        stats = fresh.stats()
+        assert stats == {"hits": 0, "misses": 1, "stores": 0,
+                         "invalid": 0, "corrupt": 1, "write_errors": 0}
+        assert fresh.wipe() == 2  # the healthy entry + the quarantined one
+        assert list(tmp_path.glob("*.json")) == []
+        assert list((tmp_path / RunCache.CORRUPT_DIR).glob("*.json")) == []
+
+    def test_unwritable_directory_counts_and_warns_once(self, tmp_path):
+        # a file where the cache directory should be: every mkdir in
+        # put() raises FileExistsError (an OSError), like a read-only
+        # or otherwise broken results volume would
+        blocker = tmp_path / "not-a-dir"
+        blocker.write_text("", encoding="utf-8")
+        cache = RunCache(blocker)
+        spec = tiny_spec()
+        result = execute_spec(spec)
+        with pytest.warns(RuntimeWarning, match="not.*writable"):
+            cache.put(spec, result, 0.1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second put must stay silent
+            cache.put(tiny_spec(ftl="tpftl"), result, 0.1)
+        assert cache.stats()["write_errors"] == 2
+        assert cache.stores == 0
+        assert cache.get(spec)[0] == result  # L1 still serves the run
 
 
 class TestParallelRunner:
@@ -242,6 +283,23 @@ class TestParallelRunner:
             resolve_jobs(0)
         monkeypatch.setenv("REPRO_JOBS", "lots")
         with pytest.raises(ExperimentError):
+            resolve_jobs()
+
+    @pytest.mark.parametrize("value", ["", "   "])
+    def test_blank_jobs_env_means_serial(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_JOBS", value)
+        assert resolve_jobs() == 1
+
+    @pytest.mark.parametrize("value", ["abc", "2.5", "0x4", "two"])
+    def test_malformed_jobs_env_rejected(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_JOBS", value)
+        with pytest.raises(ExperimentError, match="must be an integer"):
+            resolve_jobs()
+
+    @pytest.mark.parametrize("value", ["0", "-3"])
+    def test_nonpositive_jobs_env_rejected(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_JOBS", value)
+        with pytest.raises(ExperimentError, match="must be >= 1"):
             resolve_jobs()
 
 
