@@ -38,6 +38,19 @@ from .runner import configure_runner
 MANIFEST_NAME = "failure-manifest.json"
 
 
+def _attempt_budget(text: str) -> int:
+    """``--retries`` argument type: a total attempt budget >= 1."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"attempt budget must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -88,9 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
              "killed, requeued with backoff, and eventually quarantined "
              "(default: no watchdog)")
     parser.add_argument(
-        "--retries", type=int, default=None, metavar="N",
-        help="attempt budget per cell for transient failures — worker "
-             "death, OSError, watchdog timeouts (default 3)")
+        "--retries", type=_attempt_budget, default=None, metavar="N",
+        help="total attempt budget per cell (first try included) for "
+             "transient failures — worker death, OSError, watchdog "
+             "timeouts; must be >= 1 (default 3)")
     parser.add_argument(
         "--resume", action="store_true",
         help="continue an interrupted/failed session: append to the "

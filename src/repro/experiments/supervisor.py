@@ -271,7 +271,17 @@ def _worker_entry(conn: Any, fn: Callable[..., Any], args: Tuple,
     message, traceback_text, transient)``.  Nothing may escape — an
     unpicklable value or error turns into a hard exit the parent
     classifies as a worker crash.
+
+    Workers share the terminal's foreground process group, so a Ctrl-C
+    would deliver SIGINT here too and be misreported as a permanent
+    cell failure; the parent owns interrupt handling (drain, journal,
+    re-raise), so the worker ignores SIGINT and lets the parent decide
+    its fate.
     """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):
+        pass
     try:
         inject_chaos(key, label, attempt)
         value = fn(*args)
@@ -598,7 +608,11 @@ class Supervisor:
             pass
         now = _now()
         for key in list(running):
-            record = running[key]
+            # attempt_failed may fail-fast and _terminate every sibling
+            # mid-iteration, so the snapshot can hold dead keys
+            record = running.get(key)
+            if record is None:
+                continue
             state = record.state
             message = self._receive(record)
             if message is not None:
@@ -676,7 +690,9 @@ class Supervisor:
         """Collect results workers already delivered (SIGINT path)."""
         drained = 0
         for key in list(running):
-            record = running[key]
+            record = running.get(key)
+            if record is None:
+                continue
             message = self._receive(record)
             if message is None:
                 continue

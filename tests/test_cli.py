@@ -68,6 +68,15 @@ class TestParser:
         assert args.resume is False
         assert args.fail_fast is False
 
+    def test_retries_rejects_non_positive_budget(self, capsys):
+        # a friendly argparse error (exit 2), not a raw ExperimentError
+        # traceback from RetryPolicy deep inside configure_runner
+        for bad in ("0", "-1", "two"):
+            with pytest.raises(SystemExit) as excinfo:
+                build_parser().parse_args(["fig6a", "--retries", bad])
+            assert excinfo.value.code == 2
+        assert "--retries" in capsys.readouterr().err
+
 
 class TestScaleResolution:
     def test_small_default(self):

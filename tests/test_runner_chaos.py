@@ -265,6 +265,40 @@ class TestQuarantine:
         assert len(runner.failures) == 1
         assert cache.stats()["stores"] == 0
 
+    def test_fail_fast_with_parallel_workers_still_running(
+            self, tmp_path, monkeypatch):
+        # the quarantined cell settles while a sibling worker is still
+        # alive: fail-fast must terminate it mid-_poll without the
+        # stale running-table snapshot blowing up (KeyError regression)
+        arm_chaos(tmp_path, monkeypatch, [
+            {"match": "financial1:dftl", "mode": "raise"},
+            {"match": "financial1:tpftl", "mode": "hang",
+             "seconds": 120}])
+        runner = ParallelRunner(jobs=2, cache=None, retry=FAST_RETRY,
+                                fail_fast=True)
+        started = time.monotonic()  # tp: allow=TP002 - harness timing
+        results = runner.run_specs(
+            [tiny_spec(), tiny_spec(ftl="tpftl")], allow_failures=True)
+        elapsed = time.monotonic() - started  # tp: allow=TP002 - harness timing
+        assert results == [None, None]
+        assert len(runner.failures) == 1
+        assert runner.failures[0].label == "financial1:dftl"
+        assert elapsed < 60  # hung sibling was killed, not waited out
+
+    def test_fail_fast_parallel_raises_structured_error(
+            self, tmp_path, monkeypatch):
+        # without allow_failures the same scenario must surface as a
+        # MatrixFailureError (caught by the CLI), never a raw KeyError
+        arm_chaos(tmp_path, monkeypatch, [
+            {"match": "financial1:dftl", "mode": "raise"},
+            {"match": "financial1:tpftl", "mode": "hang",
+             "seconds": 120}])
+        runner = ParallelRunner(jobs=2, cache=None, retry=FAST_RETRY,
+                                fail_fast=True)
+        with pytest.raises(MatrixFailureError) as excinfo:
+            runner.run_specs([tiny_spec(), tiny_spec(ftl="tpftl")])
+        assert excinfo.value.failures[0].label == "financial1:dftl"
+
 
 class TestMapSupervision:
     def test_map_retries_transient_failures(self, tmp_path,
