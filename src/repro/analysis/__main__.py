@@ -2,18 +2,24 @@
 
 Subcommands:
 
-* ``lint [paths...]`` — run both analysis passes (the single-file TP0xx
-  AST rules and the interprocedural TP1xx flow rules) over Python
-  sources (default target: ``src``).  Exits non-zero when findings
-  outside the committed baseline exist; ``--write-baseline``
-  regenerates the baseline from the current findings instead.
-  ``--format text|json|sarif`` picks the report format (SARIF 2.1.0
-  feeds GitHub code scanning); ``--fail-stale`` turns stale baseline
-  entries into a failure; ``--disable``/``--exclude`` select rules and
-  prune subtrees per invocation (tests legitimately use ``assert``, so
-  CI lints them with ``--disable TP003``).
-* ``rules`` — print every TP lint rule, TP1xx flow rule and SAN
-  sanitizer rule with its one-line description.
+* ``lint [paths...]`` — run every analysis pass (the single-file TP0xx
+  AST rules, the interprocedural TP1xx flow rules and the TP2xx
+  domain/unit pass) over Python sources (default target: ``src``).
+  Exits non-zero when findings outside the committed baseline exist;
+  ``--write-baseline`` regenerates the baseline from the current
+  findings instead.  ``--format text|json|sarif`` picks the report
+  format (SARIF 2.1.0 feeds GitHub code scanning); ``--fail-stale``
+  turns stale baseline entries into a failure; ``--disable``/
+  ``--exclude`` select rules and prune subtrees per invocation (tests
+  legitimately use ``assert``, so CI lints them with
+  ``--disable TP003``).
+* ``mutants`` — self-validate the TP2xx domain pass: apply the seeded
+  mutants from :mod:`repro.analysis.mutants` to a throwaway copy of
+  ``src`` and fail unless every mutant is flagged while the pristine
+  copy stays clean.
+* ``rules`` — print every rule family (TP0xx lint, TP1xx flow, TP2xx
+  domain, SAN sanitizer), grouped and sorted, with one-line
+  descriptions.
 """
 
 from __future__ import annotations
@@ -25,10 +31,11 @@ import sys
 from typing import List, Optional, Sequence, Set, Tuple
 
 from .checkers import SAN_RULES
-from .flow import FLOW_RULES, analyze_paths, to_sarif
+from .flow import DOMAIN_RULES, FLOW_RULES, analyze_paths, to_sarif
 from .flow.sarif import default_rule_table
 from .lint import (Finding, RULES, lint_paths, load_baseline,
                    partition_findings, write_baseline)
+from .mutants import MUTANTS, MutantApplyError, run_mutants
 
 #: default baseline location, relative to the invocation directory
 DEFAULT_BASELINE = ".analysis-baseline.json"
@@ -79,9 +86,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--exclude", action="append", default=[], metavar="PATH",
         help="path prefixes to prune from the linted trees "
              "(repeatable); e.g. --exclude tests/fixtures")
+    mutants = sub.add_parser(
+        "mutants", help="self-validate the TP2xx domain pass against "
+                        "the seeded mutant corpus")
+    mutants.add_argument(
+        "--src", default="src", metavar="DIR",
+        help="source tree to copy and mutate (default: src)")
+    mutants.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"baseline used for the pristine-copy clean check "
+             f"(default: {DEFAULT_BASELINE})")
+    mutants.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        dest="format_", metavar="FORMAT",
+        help="report format: text (default) or json")
+    mutants.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the json document to FILE instead of stdout")
+    mutants.add_argument(
+        "--list", action="store_true", dest="list_",
+        help="print the mutant corpus without running the analysis")
     sub.add_parser(
-        "rules", help="list every TP lint rule, TP1xx flow rule and "
-                      "SAN sanitizer rule")
+        "rules", help="list every rule family (TP0xx lint, TP1xx "
+                      "flow, TP2xx domain, SAN sanitizer)")
     return parser
 
 
@@ -155,7 +182,8 @@ def _run_lint(args: argparse.Namespace) -> int:
     elif args.format_ == "sarif":
         _emit_document(
             to_sarif(new, grandfathered,
-                     default_rule_table(FLOW_RULES)),
+                     default_rule_table({**FLOW_RULES,
+                                         **DOMAIN_RULES})),
             args.output)
     else:
         for finding in new:
@@ -178,18 +206,60 @@ def _run_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_mutants(args: argparse.Namespace) -> int:
+    if args.list_:
+        for mutant in MUTANTS:
+            print(f"{mutant.mid}  {mutant.rule}  {mutant.path}: "
+                  f"{mutant.description}")
+        return 0
+    try:
+        report = run_mutants(src_root=args.src, baseline=args.baseline)
+    except MutantApplyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format_ == "json":
+        _emit_document(report.to_json(), args.output)
+    else:
+        for finding in report.pristine_new:
+            print(f"pristine: {finding.render()}")
+        for result in report.results:
+            verdict = "killed" if result.killed else "SURVIVED"
+            rules = ",".join(sorted({f.rule for f in result.delta}))
+            print(f"{result.mutant.mid}  {verdict:8s} "
+                  f"{result.mutant.rule}  {result.mutant.path}: "
+                  f"{result.mutant.description}"
+                  + (f"  [{rules}]" if rules else ""))
+    status = sys.stdout if args.format_ == "text" else sys.stderr
+    if report.pristine_new:
+        print(f"{len(report.pristine_new)} finding(s) on the pristine "
+              "copy beyond the baseline", file=status)
+    if report.survivors:
+        print(f"{len(report.survivors)} mutant(s) survived",
+              file=status)
+    if report.ok:
+        print(f"all {len(report.results)} mutant(s) killed; pristine "
+              "copy clean", file=status)
+    return 0 if report.ok else 1
+
+
+#: the rule families the ``rules`` subcommand prints, in print order
+_RULE_FAMILIES = (
+    ("TP0xx AST lint rules (python -m repro.analysis lint):", RULES),
+    ("TP1xx interprocedural flow rules (same lint subcommand):",
+     FLOW_RULES),
+    ("TP2xx domain/unit rules (same lint subcommand; self-validated "
+     "by the mutants subcommand):", DOMAIN_RULES),
+    ("SANxxx sanitizer rules (config.sanitizer / FTLSan):", SAN_RULES),
+)
+
+
 def _run_rules() -> int:
-    print("TP lint rules (python -m repro.analysis lint):")
-    for code in sorted(RULES):
-        print(f"  {code}  {RULES[code]}")
-    print()
-    print("TP flow rules (interprocedural; same lint subcommand):")
-    for code in sorted(FLOW_RULES):
-        print(f"  {code}  {FLOW_RULES[code]}")
-    print()
-    print("SAN sanitizer rules (config.sanitizer / FTLSan):")
-    for code in sorted(SAN_RULES):
-        print(f"  {code}  {SAN_RULES[code]}")
+    for index, (title, table) in enumerate(_RULE_FAMILIES):
+        if index:
+            print()
+        print(title)
+        for code in sorted(table):
+            print(f"  {code}  {table[code]}")
     return 0
 
 
@@ -198,6 +268,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "lint":
         return _run_lint(args)
+    if args.command == "mutants":
+        return _run_mutants(args)
     return _run_rules()
 
 

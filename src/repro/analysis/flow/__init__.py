@@ -19,18 +19,21 @@ Run it through the shared CLI::
 from __future__ import annotations
 
 from .callgraph import Project
+from .domains import DOMAIN_RULES, check_domains
 from .engine import FlowEngine, fixed_point
 from .rules import (FLOW_RULES, analyze_paths, analyze_project,
                     analyze_source)
 from .sarif import to_sarif
 
 __all__ = [
+    "DOMAIN_RULES",
     "FLOW_RULES",
     "FlowEngine",
     "Project",
     "analyze_paths",
     "analyze_project",
     "analyze_source",
+    "check_domains",
     "fixed_point",
     "to_sarif",
 ]

@@ -30,7 +30,8 @@ import pathlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from ..lint import _allowed_codes, _dotted, iter_python_files
+from ..lint import (_allowed_codes, _dotted, iter_python_files,
+                    normalize_path)
 from .state import ClassState, collect_class_state
 
 __all__ = [
@@ -181,7 +182,8 @@ class Project:
         """Parse every ``*.py`` under ``paths`` into one project."""
         sources: Dict[str, str] = {}
         for file in iter_python_files(paths, exclude=exclude):
-            sources[file.as_posix()] = file.read_text(encoding="utf-8")
+            sources[normalize_path(file)] = file.read_text(
+                encoding="utf-8")
         return cls.from_sources(sources)
 
     @classmethod

@@ -90,6 +90,12 @@ class FlowEngine:
         solved = fixed_point(self._backward, seeds)
         return {node for node, facts in solved.items() if facts}
 
+    def callers_of(self, qname: str) -> Set[str]:
+        """Direct callers of ``qname`` (the reverse call-graph edge),
+        used by the domain pass to requeue callers when a function's
+        inferred return domain changes."""
+        return set(self._backward.get(qname, ()))
+
     # ------------------------------------------------------------------
     # Call-site queries
     # ------------------------------------------------------------------

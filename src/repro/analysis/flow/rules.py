@@ -28,10 +28,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..lint import _FLASH_OPS, Finding, _dotted
 from .callgraph import FunctionInfo, ModuleInfo, Project
+from .domains import DOMAIN_RULES, check_domains
 from .engine import FlowEngine
 from .state import AttrEvent, _is_set_expr
 
 __all__ = [
+    "DOMAIN_RULES",
     "FLOW_RULES",
     "RESET_METHODS",
     "RUN_ROOTS",
@@ -405,11 +407,13 @@ _RULE_IMPLS: Dict[str, _Rule] = {
 
 
 def analyze_project(project: Project) -> List[Finding]:
-    """Run every flow rule over an already-parsed project."""
+    """Run every flow rule (TP1xx + the TP2xx domain pass) over an
+    already-parsed project."""
     engine = FlowEngine(project)
     findings: List[Finding] = []
     for code in sorted(_RULE_IMPLS):
         findings.extend(_RULE_IMPLS[code](project, engine))
+    findings.extend(check_domains(project, engine))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 

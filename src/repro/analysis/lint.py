@@ -304,11 +304,23 @@ def _resolve_slots(visitors: Sequence[_FileVisitor]) -> List[Finding]:
     return findings
 
 
+def _default_pruned(component: str) -> bool:
+    """Path components never worth analyzing when walking a tree:
+    bytecode caches, hidden directories (``.git``, ``.venv``, ...) and
+    packaging metadata."""
+    return (component == "__pycache__" or component.startswith(".")
+            or component.endswith(".egg-info"))
+
+
 def iter_python_files(paths: Sequence[str],
                       exclude: Sequence[str] = ()) -> List[pathlib.Path]:
     """All ``*.py`` files under the given files/directories, sorted.
 
-    ``exclude`` prunes whole subtrees by path prefix (posix form), so
+    Walking a directory prunes ``__pycache__``, hidden and
+    ``*.egg-info`` components below it by default (an explicitly named
+    file is taken as-is, and so is the walked root itself — only
+    components *under* it are filtered).  ``exclude`` is additive on
+    top: it prunes whole subtrees by path prefix (posix form), so
     deliberately-dirty fixture directories can sit inside a linted
     tree: ``iter_python_files(["tests"], exclude=["tests/fixtures"])``.
     """
@@ -324,11 +336,31 @@ def iter_python_files(paths: Sequence[str],
     for raw in paths:
         path = pathlib.Path(raw)
         if path.is_dir():
-            files.extend(f for f in sorted(path.rglob("*.py"))
-                         if not _excluded(f))
+            files.extend(
+                f for f in sorted(path.rglob("*.py"))
+                if not _excluded(f)
+                and not any(_default_pruned(part)
+                            for part in f.relative_to(path).parts))
         elif path.suffix == ".py" and not _excluded(path):
             files.append(path)
     return sorted(set(files))
+
+
+def normalize_path(path: pathlib.Path) -> str:
+    """Canonical finding/baseline path: repo-relative POSIX when the
+    file sits under the current directory, absolute POSIX otherwise.
+
+    Every pass (TP0xx lint, TP1xx/TP2xx flow) keys findings and
+    baseline entries by this string, so invoking the CLI as
+    ``lint src`` or ``lint ./src`` or ``lint $PWD/src`` produces
+    identical baselines and ``--fail-stale`` never sees phantom
+    entries from path-spelling drift.
+    """
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(pathlib.Path.cwd()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
 
 
 def lint_source(source: str, path: str = "<string>") -> List[Finding]:
@@ -345,7 +377,7 @@ def lint_paths(paths: Sequence[str],
     visitors: List[_FileVisitor] = []
     findings: List[Finding] = []
     for file in iter_python_files(paths, exclude=exclude):
-        rel = file.as_posix()
+        rel = normalize_path(file)
         source = file.read_text(encoding="utf-8")
         in_flash = "flash" in file.parts
         visitor = _FileVisitor(rel, source.splitlines(), in_flash)

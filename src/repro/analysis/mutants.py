@@ -1,0 +1,264 @@
+"""Mutation self-validation of the TP2xx domain/unit pass.
+
+A static analysis that never fires is indistinguishable from one that
+works.  This harness keeps the domain pass honest from both sides: it
+applies a curated list of **seeded mutants** — each the minimal,
+realistic version of a bug class the pass exists for (swapped
+``lpn``/``ppn`` arguments, an ``lpn``-indexed structure indexed by
+VPN, a dropped ``* pages_per_block`` conversion, milliseconds handed
+to a microsecond parameter, a byte budget stored as an entry count) —
+to a throwaway copy of ``src/`` and asserts that
+
+* the **pristine copy is clean**: zero findings beyond the committed
+  baseline (the analysis does not cry wolf at HEAD), and
+* **every mutant is killed**: the analysis of the mutated copy yields
+  at least one *new* finding of the expected rule in the mutated file.
+
+Each mutant is an exact-text substitution that must match its file
+exactly once; when the underlying source drifts, the harness fails
+loudly (:class:`MutantApplyError`) instead of silently validating
+nothing.  Run it as ``python -m repro.analysis mutants`` (CI does, in
+the ``analysis-mutants`` job) or through
+``tests/test_analysis_mutants.py``.
+
+This is also the gate the planned vectorized fast path must pass: any
+rewrite of the translation hot loops has to keep all of these mutants
+detectable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import shutil
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .flow import analyze_paths
+from .lint import Finding, lint_paths, load_baseline
+
+__all__ = [
+    "MUTANTS",
+    "Mutant",
+    "MutantApplyError",
+    "MutantResult",
+    "MutationReport",
+    "run_mutants",
+]
+
+
+class MutantApplyError(RuntimeError):
+    """A mutant's before-text no longer matches its file exactly once."""
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One seeded domain/unit bug: an exact-text substitution."""
+
+    mid: str
+    #: file to mutate, relative to the copied ``src`` root
+    path: str
+    #: rule expected to kill the mutant (TP201..TP204)
+    rule: str
+    description: str
+    before: str
+    after: str
+
+
+#: the seeded mutants: every one must be killed by the domain pass
+MUTANTS: Tuple[Mutant, ...] = (
+    Mutant(
+        mid="M01", path="repro/ftl/base.py", rule="TP201",
+        description="read-modify-write reads the LPN instead of the "
+                    "old PPN",
+        before="self.flash.read(ppn_old, PageKind.DATA)",
+        after="self.flash.read(lpn, PageKind.DATA)"),
+    Mutant(
+        mid="M02", path="repro/ftl/base.py", rule="TP201",
+        description="swapped lpn/ppn arguments when recording a "
+                    "mapping",
+        before="self._record_mapping(lpn, ppn_new, result)",
+        after="self._record_mapping(ppn_new, lpn, result)"),
+    Mutant(
+        mid="M03", path="repro/ftl/base.py", rule="TP201",
+        description="flash_table indexed by PPN and fed an LPN on the "
+                    "translation-write path",
+        before="            self.flash_table[lpn] = ppn\n"
+               "        old_ptpn",
+        after="            self.flash_table[ppn] = lpn\n"
+              "        old_ptpn"),
+    Mutant(
+        mid="M04", path="repro/ftl/base.py", rule="TP201",
+        description="GC migration derives the VTPN from the new PPN "
+                    "instead of the LPN",
+        before="vtpn = self.geometry.vtpn_of(lpn)",
+        after="vtpn = self.geometry.vtpn_of(new_ppn)"),
+    Mutant(
+        mid="M05", path="repro/ftl/base.py", rule="TP202",
+        description="unmapped-check compares a PPN against an LPN",
+        before="if ppn_old == UNMAPPED:",
+        after="if ppn_old == lpn:"),
+    Mutant(
+        mid="M06", path="repro/ftl/dftl.py", rule="TP201",
+        description="double translation: flash_table indexed by VTPN "
+                    "instead of LPN",
+        before="ppn = self.flash_table[lpn]",
+        after="ppn = self.flash_table[self.geometry.vtpn_of(lpn)]"),
+    Mutant(
+        mid="M07", path="repro/ftl/dftl.py", rule="TP204",
+        description="byte budget stored as an entry count (missing "
+                    "// entry_bytes)",
+        before="self.capacity_entries = budget // entry_bytes",
+        after="self.capacity_entries = budget"),
+    Mutant(
+        mid="M08", path="repro/ssd/device.py", rule="TP203",
+        description="per-request service time converted to ms and "
+                    "dispatched where µs are expected",
+        before="            service = cost.service_time(ssd.read_us,"
+               " ssd.write_us,\n"
+               "                                        ssd.erase_us)"
+               "\n",
+        after="            response_ms = cost.service_time("
+              "ssd.read_us, ssd.write_us,\n"
+              "                                        ssd.erase_us)"
+              " / 1000.0\n"
+              "            service = response_ms\n"),
+    Mutant(
+        mid="M09", path="repro/ssd/parallel.py", rule="TP203",
+        description="channel finish time adds milliseconds to a "
+                    "microsecond clock",
+        before="            start = max(arrival, self._busy[0])\n"
+               "            finish = start + service_us\n",
+        after="            service_ms = service_us / 1000.0\n"
+              "            start = max(arrival, self._busy[0])\n"
+              "            finish = start + service_ms\n"),
+    Mutant(
+        mid="M10", path="repro/ftl/block_ftl.py", rule="TP201",
+        description="dropped * pages_per_block: a block index used as "
+                    "the block's base LPN",
+        before="        base_lpn = lbn * ppb",
+        after="        base_lpn = lbn"),
+)
+
+
+@dataclass
+class MutantResult:
+    """Outcome of one mutant: killed or survived, with the delta."""
+
+    mutant: Mutant
+    #: findings present in the mutated copy but not the pristine one
+    delta: List[Finding]
+
+    @property
+    def killed(self) -> bool:
+        """True when the expected rule fired in the mutated file."""
+        return any(f.rule == self.mutant.rule
+                   and f.path.endswith(self.mutant.path)
+                   for f in self.delta)
+
+
+@dataclass
+class MutationReport:
+    """The full harness outcome: pristine check + per-mutant verdicts."""
+
+    #: findings on the pristine copy beyond the committed baseline
+    pristine_new: List[Finding]
+    results: List[MutantResult]
+
+    @property
+    def survivors(self) -> List[MutantResult]:
+        """Mutants the analysis failed to flag."""
+        return [r for r in self.results if not r.killed]
+
+    @property
+    def ok(self) -> bool:
+        """True when HEAD is clean and every mutant is killed."""
+        return not self.pristine_new and not self.survivors
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON document for ``--format json``."""
+        return {
+            "tool": "repro.analysis mutants",
+            "pristine_new": [f.render() for f in self.pristine_new],
+            "mutants": [{
+                "id": r.mutant.mid,
+                "path": r.mutant.path,
+                "rule": r.mutant.rule,
+                "description": r.mutant.description,
+                "killed": r.killed,
+                "delta": [f.render() for f in r.delta],
+            } for r in self.results],
+            "ok": self.ok,
+        }
+
+
+def _analyze(root: pathlib.Path) -> List[Finding]:
+    """Both passes over one tree copy."""
+    paths = [str(root)]
+    return lint_paths(paths) + analyze_paths(paths)
+
+
+def _rebased_key(finding: Finding, copy_root: pathlib.Path,
+                 src_root: pathlib.Path) -> Tuple[str, str, str]:
+    """Baseline key with the tmp-copy path mapped back onto ``src``."""
+    prefix = copy_root.as_posix() + "/"
+    path = finding.path
+    if path.startswith(prefix):
+        path = (src_root / path[len(prefix):]).as_posix()
+    return (finding.rule, path, finding.snippet)
+
+
+def _apply(copy_root: pathlib.Path, mutant: Mutant) -> str:
+    """Apply one mutant in place; returns the original text."""
+    target = copy_root / mutant.path
+    original = target.read_text(encoding="utf-8")
+    occurrences = original.count(mutant.before)
+    if occurrences != 1:
+        raise MutantApplyError(
+            f"{mutant.mid}: expected exactly one occurrence of the "
+            f"before-text in {mutant.path}, found {occurrences} — the "
+            "source drifted; update the mutant list")
+    target.write_text(original.replace(mutant.before, mutant.after),
+                      encoding="utf-8")
+    return original
+
+
+def run_mutants(src_root: str = "src",
+                baseline: Optional[str] = ".analysis-baseline.json",
+                mutants: Sequence[Mutant] = MUTANTS) -> MutationReport:
+    """Run the full harness against a throwaway copy of ``src_root``.
+
+    Copies the tree once, analyzes the pristine copy (comparing
+    against the committed ``baseline`` for the HEAD-clean check), then
+    applies/reverts each mutant in turn and records the finding delta.
+    """
+    src = pathlib.Path(src_root)
+    grandfathered = (load_baseline(pathlib.Path(baseline))
+                     if baseline else set())
+    with tempfile.TemporaryDirectory(prefix="tp-mutants-") as tmp:
+        # resolve() so the prefix matches the resolved finding paths
+        # normalize_path() produces for files outside the repo
+        copy_root = pathlib.Path(tmp).resolve() / src.name
+        shutil.copytree(src, copy_root, ignore=shutil.ignore_patterns(
+            "__pycache__", "*.pyc", "*.egg-info"))
+        pristine = _analyze(copy_root)
+        pristine_keys: Set[Tuple[str, str, str]] = {
+            f.key for f in pristine}
+        pristine_new = [
+            f for f in pristine
+            if _rebased_key(f, copy_root, src) not in grandfathered]
+        results: List[MutantResult] = []
+        for mutant in mutants:
+            original = _apply(copy_root, mutant)
+            try:
+                mutated = _analyze(copy_root)
+            finally:
+                (copy_root / mutant.path).write_text(
+                    original, encoding="utf-8")
+            delta = [f for f in mutated if f.key not in pristine_keys]
+            results.append(MutantResult(mutant=mutant, delta=delta))
+    rebased = [dataclasses.replace(
+        f, path=_rebased_key(f, copy_root, src)[1])
+        for f in pristine_new]
+    return MutationReport(pristine_new=rebased, results=results)

@@ -1,0 +1,20 @@
+"""Fixture: TP201 — an LPN flowing into a PPN-typed parameter.
+
+``serve`` hands the logical page number straight to
+``Flash.invalidate``, whose ``ppn`` parameter is pinned to the PPN
+domain by its name.  The domain pass must flag exactly that call
+site — the classic forgot-to-translate bug.
+"""
+
+
+class Flash:
+    def invalidate(self, ppn):
+        self.last_dead = ppn
+
+
+class FTL:
+    def __init__(self):
+        self.flash = Flash()
+
+    def serve(self, lpn):
+        self.flash.invalidate(lpn)

@@ -1,0 +1,10 @@
+"""Fixture: TP202 — arithmetic mixing two address domains.
+
+Subtracting a physical page number from a logical one never yields a
+meaningful quantity (the two address spaces share no origin); the
+domain pass must flag the expression exactly once.
+"""
+
+
+def distance(lpn, ppn):
+    return lpn - ppn

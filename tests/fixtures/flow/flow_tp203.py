@@ -1,0 +1,17 @@
+"""Fixture: TP203 — milliseconds flowing into a microsecond clock.
+
+``run`` forwards a ``*_ms`` value to ``absorb``, whose parameter is
+pinned to microseconds by its ``_us`` suffix: a silent 1000x timing
+error the domain pass must flag at the call site.
+"""
+
+
+class Device:
+    def __init__(self):
+        self.busy_us = 0.0
+
+    def absorb(self, service_us):
+        self.busy_us += service_us
+
+    def run(self, response_ms):
+        self.absorb(response_ms)

@@ -1,0 +1,22 @@
+"""Fixture: TP204 — an entry count charged against a byte budget.
+
+``admit`` passes a number of cache entries to ``Budget.charge``,
+whose ``nbytes`` parameter is byte-typed: the size-accounting
+confusion the DFTL/TPFTL byte-budget model exists to prevent.
+"""
+
+
+class Budget:
+    def __init__(self, capacity_bytes):
+        self.capacity_bytes = capacity_bytes
+
+    def charge(self, nbytes):
+        self.capacity_bytes -= nbytes
+
+
+class Cache:
+    def __init__(self):
+        self.budget = Budget(4096)
+
+    def admit(self, capacity_entries):
+        self.budget.charge(capacity_entries)

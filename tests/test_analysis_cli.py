@@ -13,7 +13,7 @@ import pathlib
 import pytest
 
 from repro.analysis.__main__ import main
-from repro.analysis.flow import FLOW_RULES
+from repro.analysis.flow import DOMAIN_RULES, FLOW_RULES
 from repro.analysis.flow.sarif import SARIF_VERSION
 from repro.analysis.lint import RULES
 
@@ -44,7 +44,9 @@ def test_json_round_trips(capsys):
     for finding in document["findings"]:
         assert set(finding) == {"rule", "path", "line", "col",
                                 "message", "snippet", "suppressed"}
-        assert finding["rule"] in RULES or finding["rule"] in FLOW_RULES
+        assert (finding["rule"] in RULES
+                or finding["rule"] in FLOW_RULES
+                or finding["rule"] in DOMAIN_RULES)
         assert finding["suppressed"] is False
     # status chatter goes to stderr, keeping stdout machine-parseable
     assert "finding(s)" in err
@@ -83,7 +85,8 @@ def test_sarif_required_fields(capsys):
     driver = run["tool"]["driver"]
     assert driver["name"] == "repro.analysis"
     rule_ids = [rule["id"] for rule in driver["rules"]]
-    assert rule_ids == sorted(set(RULES) | set(FLOW_RULES))
+    assert rule_ids == sorted(
+        set(RULES) | set(FLOW_RULES) | set(DOMAIN_RULES))
     for rule in driver["rules"]:
         assert rule["shortDescription"]["text"]
         assert rule["defaultConfiguration"]["level"] in (
@@ -207,3 +210,76 @@ def test_output_writes_document_to_file(tmp_path, capsys):
 def test_unknown_format_rejected(capsys):
     with pytest.raises(SystemExit):
         main(["lint", str(SRC), "--format", "xml"])
+
+
+# ----------------------------------------------------------------------
+# default tree pruning and path normalization
+# ----------------------------------------------------------------------
+_WALL_CLOCK = "import time\n\n\ndef now():\n    return time.time()\n"
+
+
+def test_pycache_and_hidden_dirs_pruned_by_default(tmp_path, capsys):
+    """Walking a tree skips __pycache__/hidden/egg-info subtrees even
+    without --exclude, so stale bytecode siblings and vendored venvs
+    never pollute the report."""
+    tree = tmp_path / "pkg"
+    for trap in ("__pycache__", ".hidden", "dist.egg-info"):
+        (tree / trap).mkdir(parents=True)
+        (tree / trap / "trap.py").write_text(_WALL_CLOCK,
+                                             encoding="utf-8")
+    (tree / "ok.py").write_text('"""Clean."""\nX = 1\n',
+                                encoding="utf-8")
+    code, out, _ = _lint(
+        [str(tree), "--no-baseline", "--format", "json"], capsys)
+    assert code == 0
+    assert json.loads(out)["findings"] == []
+
+
+def test_explicit_file_argument_bypasses_default_pruning(
+        tmp_path, capsys):
+    """Naming a file directly lints it even inside a pruned dir."""
+    trap = tmp_path / "__pycache__" / "trap.py"
+    trap.parent.mkdir()
+    trap.write_text(_WALL_CLOCK, encoding="utf-8")
+    code, out, _ = _lint(
+        [str(trap), "--no-baseline", "--format", "json"], capsys)
+    assert code == 1
+    assert json.loads(out)["findings"]
+
+
+def test_finding_paths_normalize_to_repo_relative(
+        monkeypatch, capsys):
+    """Both passes key findings by repo-relative POSIX paths, even
+    when the CLI is invoked with absolute arguments — so TP0xx and
+    TP1xx baseline entries can never disagree on spelling."""
+    monkeypatch.chdir(ROOT)
+    code, out, _ = _lint(
+        [str(AST_FIXTURE), str(FLOW_FIXTURE), "--no-baseline",
+         "--format", "json"], capsys)
+    assert code == 1
+    findings = json.loads(out)["findings"]
+    paths = {f["path"] for f in findings}
+    assert paths == {"tests/fixtures/tp_violations.py",
+                     "tests/fixtures/flow/flow_tp101.py"}
+    assert {f["rule"] for f in findings
+            if f["path"].endswith("flow_tp101.py")} == {"TP101"}
+
+
+# ----------------------------------------------------------------------
+# rules listing
+# ----------------------------------------------------------------------
+def test_rules_listing_grouped_and_sorted(capsys):
+    """Snapshot of the rules subcommand structure: four family blocks
+    in TP0xx/TP1xx/TP2xx/SANxxx order, each sorted by code."""
+    from repro.analysis.checkers import SAN_RULES
+    assert main(["rules"]) == 0
+    out = capsys.readouterr().out
+    blocks = out.strip().split("\n\n")
+    assert len(blocks) == 4
+    expected = [sorted(RULES), sorted(FLOW_RULES),
+                sorted(DOMAIN_RULES), sorted(SAN_RULES)]
+    for block, codes in zip(blocks, expected):
+        header, *entries = block.splitlines()
+        assert header.endswith(":")
+        assert [line.split()[0] for line in entries] == codes
+    assert blocks[2].startswith("TP2xx")
