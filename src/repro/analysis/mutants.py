@@ -128,9 +128,13 @@ MUTANTS: Tuple[Mutant, ...] = (
         mid="M09", path="repro/ssd/parallel.py", rule="TP203",
         description="channel finish time adds milliseconds to a "
                     "microsecond clock",
-        before="            start = max(arrival, self._busy[0])\n"
+        before="            # are bit-for-bit identical to the "
+               "single-server model.\n"
+               "            start = max(arrival, self._busy[0])\n"
                "            finish = start + service_us\n",
-        after="            service_ms = service_us / 1000.0\n"
+        after="            # are bit-for-bit identical to the "
+              "single-server model.\n"
+              "            service_ms = service_us / 1000.0\n"
               "            start = max(arrival, self._busy[0])\n"
               "            finish = start + service_ms\n"),
     Mutant(

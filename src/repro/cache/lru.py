@@ -111,9 +111,26 @@ class LRUList(Generic[N]):
         self._size -= 1
 
     def move_to_mru(self, node: N) -> None:
-        """Unlink the node and reinsert it at the MRU end."""
-        self.remove(node)
-        self.push_mru(node)
+        """Unlink the node and reinsert it at the MRU end.
+
+        Equivalent to ``remove`` + ``push_mru`` but in one relink —
+        this is the hottest cache operation (every hit bumps recency),
+        so it skips the intermediate unlinked state and its checks.
+        """
+        head = self._head
+        if head.next is node:
+            return  # already MRU: the relink would be a no-op
+        prev = node.prev
+        if prev is None:
+            raise SimInvariantError("cannot remove an unlinked node")
+        nxt = cast(LRUNode, node.next)
+        prev.next = nxt
+        nxt.prev = prev
+        first = cast(LRUNode, head.next)
+        node.prev = head
+        node.next = first
+        head.next = node
+        first.prev = node
 
     def pop_lru(self) -> Optional[N]:
         """Remove and return the LRU node (None when empty)."""

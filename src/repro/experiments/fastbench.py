@@ -1,0 +1,207 @@
+"""Fast-path bench: measure the batched core against the reference core.
+
+``python -m repro.experiments.fastbench`` times every tier-1 cell
+through both execution cores, *asserts digest parity between them* (the
+bench doubles as the parity diff gate: a cell whose results diverge
+fails the run before any timing is reported), and writes the trajectory
+to ``BENCH_fastpath.json``::
+
+    {"bench": "fastpath", "schema": 1,
+     "num_requests": 60000, "warmup_requests": 15000,
+     "cells": [{"label": "financial1:dftl", "digest": "...",
+                "reference_s": 14.2, "fast_s": 2.1, "speedup": 6.7},
+               ...]}
+
+``--baseline FILE`` replays the scale recorded in a committed
+trajectory and fails (exit 1) when any cell's measured speedup drops
+below ``baseline_speedup * (1 - tolerance)``.  Speedups are ratios of
+two runs on the *same* machine, so they transfer across hardware in a
+way raw wall-clock numbers never could — that is what makes a committed
+trajectory a meaningful CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import math
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..ftl import make_ftl
+from ..ssd import run_fast
+from ..ssd.parallel import make_device
+from .common import ExperimentScale, simulation_config
+from .runner import RunSpec, build_spec_trace, encode_result
+
+#: the tier-1 cells: every workload under the paper's baseline mapping
+#: FTL (GC-heavy, where batching pays most) and the page-level optimal
+#: FTL (policy-light, guards against fast-path overhead regressions)
+FASTBENCH_CELLS = (
+    ("financial1", "dftl"), ("financial1", "optimal"),
+    ("financial2", "dftl"), ("financial2", "optimal"),
+    ("msr-ts", "dftl"), ("msr-ts", "optimal"),
+    ("msr-src", "dftl"), ("msr-src", "optimal"),
+)
+
+#: default slack against a committed trajectory: a cell may lose up to
+#: this fraction of its committed speedup before the gate fails
+DEFAULT_TOLERANCE = 0.2
+
+
+def result_digest(result) -> str:
+    """sha256 of the run cache's JSON encoding (the parity key)."""
+    payload = json.dumps(encode_result(result), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _build_device(spec: RunSpec, trace):
+    """A fresh device for one timed replay (same wiring as the runner)."""
+    config = simulation_config(trace, cache_fraction=spec.cache_fraction,
+                               tpftl=spec.tpftl, channels=spec.channels)
+    ftl = make_ftl(spec.ftl, config)
+    return make_device(ftl, channels=config.channels,
+                       sample_interval=spec.sample_interval)
+
+
+def measure_cell(spec: RunSpec, repeats: int = 3) -> Dict[str, Any]:
+    """Time one cell through both cores; fail hard on divergence.
+
+    Trace generation and device construction (prefill) happen outside
+    the timed region — both are identical for the two cores, and the
+    trajectory measures the *execution core*, i.e. the replay loop.
+    Each core is replayed ``repeats`` times on a fresh device and the
+    minimum is kept: the replay is deterministic, so the fastest
+    observation is the one least perturbed by the host.
+    """
+    trace = build_spec_trace(spec)
+    warmup = spec.scale.warmup_requests
+    reference = None
+    reference_s = math.inf
+    for _ in range(repeats):
+        device = _build_device(spec, trace)
+        started = time.perf_counter()  # tp: allow=TP002 - harness timing, not simulation
+        reference = device.run(trace, warmup_requests=warmup)
+        reference_s = min(reference_s,
+                          time.perf_counter() - started)  # tp: allow=TP002 - harness timing
+    fast = None
+    fast_s = math.inf
+    for _ in range(repeats):
+        device = _build_device(spec, trace)
+        started = time.perf_counter()  # tp: allow=TP002 - harness timing
+        fast = run_fast(device, trace, warmup_requests=warmup)
+        fast_s = min(fast_s,
+                     time.perf_counter() - started)  # tp: allow=TP002 - harness timing
+    ref_key = result_digest(reference)
+    fast_key = result_digest(fast)
+    if ref_key != fast_key:
+        raise AssertionError(  # tp: allow=TP003 - the bench IS the parity gate
+            f"fast path diverged from reference on {spec.label()}: "
+            f"{fast_key[:12]} != {ref_key[:12]}")
+    return {
+        "label": spec.label(),
+        "digest": spec.digest,
+        "reference_s": reference_s,
+        "fast_s": fast_s,
+        "speedup": reference_s / fast_s if fast_s else 0.0,
+    }
+
+
+def run_bench(num_requests: int, warmup_requests: int,
+              repeats: int = 3) -> Dict[str, Any]:
+    """Measure every tier-1 cell and assemble the trajectory."""
+    scale = ExperimentScale(num_requests=num_requests,
+                            warmup_requests=warmup_requests)
+    cells: List[Dict[str, Any]] = []
+    for workload, ftl in FASTBENCH_CELLS:
+        spec = RunSpec(workload=workload, ftl=ftl, scale=scale)
+        cell = measure_cell(spec, repeats=repeats)
+        print(f"{cell['label']:>22}: reference {cell['reference_s']:6.2f}s"
+              f"  fast {cell['fast_s']:6.2f}s"
+              f"  x{cell['speedup']:.2f}", file=sys.stderr)
+        cells.append(cell)
+    return {
+        "bench": "fastpath",
+        "schema": 1,
+        "num_requests": num_requests,
+        "warmup_requests": warmup_requests,
+        "cells": cells,
+    }
+
+
+def check_against_baseline(report: Dict[str, Any],
+                           baseline: Dict[str, Any],
+                           tolerance: float) -> List[str]:
+    """Return one message per cell whose speedup regressed too far."""
+    measured = {cell["label"]: cell for cell in report["cells"]}
+    failures: List[str] = []
+    for committed in baseline["cells"]:
+        label = committed["label"]
+        cell = measured.get(label)
+        if cell is None:
+            failures.append(f"{label}: committed cell was not measured")
+            continue
+        floor = committed["speedup"] * (1.0 - tolerance)
+        if cell["speedup"] < floor:
+            failures.append(
+                f"{label}: speedup x{cell['speedup']:.2f} fell below "
+                f"x{floor:.2f} (committed x{committed['speedup']:.2f} "
+                f"- {tolerance:.0%} tolerance)")
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="fastbench",
+        description="Benchmark (and parity-gate) the batched fast path "
+                    "against the reference execution core")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="trace requests per cell (default: the "
+                             "small scale, or the baseline's value)")
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="warmup requests per cell")
+    parser.add_argument("--out", metavar="FILE",
+                        default="BENCH_fastpath.json",
+                        help="where to write the measured trajectory")
+    parser.add_argument("--baseline", metavar="FILE", default=None,
+                        help="committed trajectory to gate against: "
+                             "replays its scale and fails on >tolerance "
+                             "speedup regressions")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed fractional speedup loss vs the "
+                             "baseline (default 0.2)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="replays per core per cell; the minimum "
+                             "is kept (default 3)")
+    args = parser.parse_args(argv)
+    baseline = None
+    if args.baseline is not None:
+        baseline = json.loads(Path(args.baseline).read_text(
+            encoding="utf-8"))
+    small = ExperimentScale.small()
+    num_requests = (args.requests if args.requests is not None
+                    else baseline["num_requests"] if baseline is not None
+                    else small.num_requests)
+    warmup = (args.warmup if args.warmup is not None
+              else baseline["warmup_requests"] if baseline is not None
+              else small.warmup_requests)
+    report = run_bench(num_requests, warmup, repeats=args.repeats)
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n",
+                              encoding="utf-8")
+    print(f"fastpath trajectory -> {args.out}", file=sys.stderr)
+    if baseline is not None:
+        failures = check_against_baseline(report, baseline,
+                                          args.tolerance)
+        for message in failures:
+            print(f"REGRESSION {message}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

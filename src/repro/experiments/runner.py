@@ -64,9 +64,17 @@ from .supervisor import (JOURNAL_NAME, Journal, RetryPolicy, Supervisor,
                          Task)
 
 #: bump when the cache-file layout or RunResult encoding changes
-CACHE_SCHEMA = 2
+#: (3: RunResult grew ``background_gc_time_us``)
+CACHE_SCHEMA = 3
 #: environment variable overriding the worker count (``--jobs`` wins)
 JOBS_ENV = "REPRO_JOBS"
+#: environment variable selecting the execution core: truthy values
+#: (the default when unset) use the batched fast path, ``0``/``off``/
+#: ``false``/``reference`` force the reference per-operation path.
+#: The spec digest deliberately excludes this — both paths produce
+#: field-for-field identical results (CI diff-gates this), so they
+#: share cache entries.
+FASTPATH_ENV = "REPRO_FASTPATH"
 #: environment variable overriding the cache directory; the values
 #: ``off``, ``none`` and ``0`` disable on-disk caching entirely
 CACHE_ENV = "REPRO_RUNCACHE"
@@ -167,15 +175,33 @@ def build_spec_trace(spec: RunSpec) -> Trace:
     return trace
 
 
-def execute_spec(spec: RunSpec) -> RunResult:
-    """Run one cell from scratch (no cache) and return its result."""
+def fastpath_enabled() -> bool:
+    """Whether the runner executes cells through the batched core.
+
+    Controlled by ``REPRO_FASTPATH`` (env vars propagate to pool
+    workers); unset means *on* — the fast path is the default because
+    it reproduces the reference field-for-field.
+    """
+    value = os.environ.get(FASTPATH_ENV, "").strip().lower()
+    return value not in ("0", "off", "false", "no", "reference")
+
+
+def execute_spec(spec: RunSpec, fast: Optional[bool] = None) -> RunResult:
+    """Run one cell from scratch (no cache) and return its result.
+
+    ``fast`` picks the execution core (batched vs reference);
+    ``None`` defers to :func:`fastpath_enabled`.  Both cores return
+    identical results, so the choice never affects cached digests.
+    """
     trace = build_spec_trace(spec)
     config = simulation_config(trace, cache_fraction=spec.cache_fraction,
                                tpftl=spec.tpftl, channels=spec.channels)
     ftl = make_ftl(spec.ftl, config)
+    if fast is None:
+        fast = fastpath_enabled()
     return simulate(ftl, trace, sample_interval=spec.sample_interval,
                     warmup_requests=spec.scale.warmup_requests,
-                    channels=config.channels)
+                    channels=config.channels, fast=fast)
 
 
 def _timed_execute(spec: RunSpec) -> Tuple[RunResult, float]:
@@ -222,6 +248,7 @@ def encode_result(result: RunResult) -> Dict[str, Any]:
         "makespan": result.makespan,
         "gc_time_us": result.gc_time_us,
         "service_time_us": result.service_time_us,
+        "background_gc_time_us": result.background_gc_time_us,
         "background_collections": result.background_collections,
         "channels": result.channels,
         "faults": dict(result.faults),
@@ -262,6 +289,7 @@ def decode_result(payload: Dict[str, Any]) -> RunResult:
         makespan=payload["makespan"],
         gc_time_us=payload["gc_time_us"],
         service_time_us=payload["service_time_us"],
+        background_gc_time_us=payload["background_gc_time_us"],
         background_collections=payload["background_collections"],
         channels=payload["channels"],
         faults=dict(payload["faults"]),

@@ -7,6 +7,19 @@ garbage, which block to victimise, and how mappings change are decisions of
 the FTL layered on top.  This mirrors the split in FlashSim that the paper
 extends.
 
+Batched execution (the fast mode): on an ideal device — a no-op
+:class:`~repro.faults.FaultPlan` — every per-operation fault consult is
+dead code and the per-op ``FlashStats`` dict updates dominate the
+simulator's profile.  :meth:`FlashMemory.enter_fast_mode` switches the
+array onto mechanically-equivalent operation paths that skip the
+injector, fold operation counts into plain integers (merged back into
+``stats`` by :meth:`FlashMemory.fold_stats`), maintain a lazy victim
+heap so greedy GC selection is O(log blocks) instead of a full scan,
+and track the device-wide erase-count spread so wear-leveling checks
+are O(1).  Every observable outcome — block states, mapping metadata,
+``op_seq``, counters after a fold, raised errors — is identical to the
+reference path; the parity suite diffs entire runs field by field.
+
 Reliability is handled here, below the FTLs, the way real controllers do:
 every program, read and erase consults a :class:`~repro.faults.FaultInjector`
 (a no-op by default).  Transient read errors are retried with exponential
@@ -20,13 +33,15 @@ retire than the over-provisioning can absorb, the array raises
 
 from __future__ import annotations
 
+import heapq
 import math
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from ..config import SSDConfig
 from ..errors import (DeviceWornOutError, EraseError, FlashError,
-                      OutOfSpaceError, ReadError, SimInvariantError)
+                      OutOfSpaceError, ProgramError, ReadError,
+                      SimInvariantError)
 from ..faults import FaultInjector
 from ..types import BlockKind, PageKind, PageState
 from .block import Block
@@ -55,6 +70,12 @@ class FlashMemory:
             BlockKind.DATA: None,
             BlockKind.TRANSLATION: None,
         }
+        #: plain-attribute mirrors of the two ``_active`` frontiers,
+        #: kept in sync at every assignment site so the per-page fast
+        #: program path avoids enum-keyed dict lookups.  ``_active``
+        #: stays the source of truth for everything else.
+        self._active_data: Optional[Block] = None
+        self._active_trans: Optional[Block] = None
         self.stats = FlashStats()
         #: monotonic operation sequence, stamped onto blocks at program
         #: time so GC policies can reason about block age.
@@ -68,6 +89,28 @@ class FlashMemory:
         self._bad_retire_pages = max(1, math.ceil(
             config.pages_per_block
             * self.injector.plan.bad_page_retire_fraction))
+        #: free-pool level at which GC triggers (cached off the config
+        #: so the per-page ``gc_needed`` check stays one comparison).
+        self._gc_trigger = config.gc_trigger_blocks
+        # -- batched execution (fast mode) -----------------------------
+        #: True while the injector-free fast operation paths are active.
+        self.fast_mode = False
+        #: lazy greedy-victim index: ``(-invalid, erase_count, id)``
+        #: entries pushed on every invalidation; stale entries (the
+        #: block's counts moved on) are dropped at pop time.
+        self.victim_heap: List[Tuple[int, int, int]] = []
+        #: exact running device-wide max/min erase counts (fast mode).
+        self.max_erase = 0
+        self.min_erase = 0
+        #: blocks per erase-count level, backing ``min_erase``.
+        self._erase_hist: Dict[int, int] = {}
+        # operation-count folds, merged into ``stats`` by fold_stats()
+        self._fold_data_reads = 0
+        self._fold_trans_reads = 0
+        self._fold_data_writes = 0
+        self._fold_trans_writes = 0
+        self._fold_data_erases = 0
+        self._fold_trans_erases = 0
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -99,7 +142,7 @@ class FlashMemory:
     @property
     def gc_needed(self) -> bool:
         """True once the free pool has shrunk to the GC trigger level."""
-        return len(self._free) <= self.config.gc_trigger_blocks
+        return len(self._free) <= self._gc_trigger
 
     @property
     def exhausted(self) -> bool:
@@ -147,6 +190,169 @@ class FlashMemory:
         return sum(block.erase_count for block in self.blocks)
 
     # ------------------------------------------------------------------
+    # Batched execution (fast mode)
+    # ------------------------------------------------------------------
+    def enter_fast_mode(self) -> None:
+        """Switch to the injector-free batched operation paths.
+
+        Only legal on an ideal device: a fault plan that can never
+        inject (and therefore an array with no bad pages or retired
+        blocks).  Builds the victim heap and the erase-count histogram
+        from the current array state, so fast mode can be entered at
+        any point of a device's life — e.g. after a prefill that ran on
+        the reference path.
+        """
+        if self.fast_mode:
+            return
+        if not self.injector.plan.is_noop:
+            raise FlashError(
+                "fast mode requires a no-op fault plan; this injector "
+                "can fire, so every operation must consult it")
+        if self.retired_block_ids or self.bad_page_count:
+            raise FlashError(
+                "fast mode requires a pristine array (no bad pages or "
+                "retired blocks)")
+        heap: List[Tuple[int, int, int]] = []
+        hist: Dict[int, int] = {}
+        max_erase = 0
+        for block in self.blocks:
+            count = block.erase_count
+            hist[count] = hist.get(count, 0) + 1
+            if count > max_erase:
+                max_erase = count
+            if block.invalid_count and block.kind is not BlockKind.FREE:
+                heap.append((-block.invalid_count, count, block.block_id))
+        heapq.heapify(heap)
+        self.victim_heap = heap
+        self._erase_hist = hist
+        self.max_erase = max_erase
+        self.min_erase = min(hist)
+        self.fast_mode = True
+
+    def exit_fast_mode(self) -> None:
+        """Return to the reference paths, folding pending counters."""
+        if not self.fast_mode:
+            return
+        self.fold_stats()
+        self.fast_mode = False
+        self.victim_heap = []
+        self._erase_hist = {}
+
+    def fold_stats(self) -> None:
+        """Merge the fast-mode count folds into :attr:`stats`.
+
+        Callers that reset or read ``stats`` while fast mode is active
+        (the batched run loop does both) must fold first; afterwards
+        the counters are exactly what the reference path would hold.
+        """
+        stats = self.stats
+        if self._fold_data_reads:
+            stats.page_reads[PageKind.DATA] += self._fold_data_reads
+            self._fold_data_reads = 0
+        if self._fold_trans_reads:
+            stats.page_reads[PageKind.TRANSLATION] += self._fold_trans_reads
+            self._fold_trans_reads = 0
+        if self._fold_data_writes:
+            stats.page_writes[PageKind.DATA] += self._fold_data_writes
+            self._fold_data_writes = 0
+        if self._fold_trans_writes:
+            stats.page_writes[PageKind.TRANSLATION] += self._fold_trans_writes
+            self._fold_trans_writes = 0
+        if self._fold_data_erases:
+            stats.erases[BlockKind.DATA] += self._fold_data_erases
+            self._fold_data_erases = 0
+        if self._fold_trans_erases:
+            stats.erases[BlockKind.TRANSLATION] += self._fold_trans_erases
+            self._fold_trans_erases = 0
+
+    def gc_scan_valid(self, block: Block,
+                      kind: PageKind) -> List[Tuple[int, int]]:
+        """Fast-mode GC helper: read every valid page of ``block``.
+
+        Returns ascending ``(offset, meta)`` pairs and counts one page
+        read of ``kind`` per pair — the batched equivalent of calling
+        :meth:`read` on each valid page of a victim.
+        """
+        meta = block._meta
+        pairs = [(offset, meta[offset])
+                 for offset in block.valid_offsets()]
+        if self.fast_mode:
+            if kind is PageKind.DATA:
+                self._fold_data_reads += len(pairs)
+            else:
+                self._fold_trans_reads += len(pairs)
+        else:
+            for _ in pairs:
+                self.stats.record_read(kind)
+        return pairs
+
+    def program_batch(self, kind: PageKind, metas: List[int]) -> List[int]:
+        """Fast-mode GC helper: program ``metas`` in order; returns PPNs.
+
+        Chunk-fills the region's write frontier: mechanically identical
+        to programming one page at a time on an ideal device (same
+        frontier allocations from the free pool, same final ``op_seq``
+        and per-block ``last_program_seq``), minus the per-op
+        bookkeeping.  Only legal in fast mode — with faults armed every
+        program must roll the injector individually.
+        """
+        if not self.fast_mode:
+            raise FlashError("program_batch requires fast mode")
+        region = _REGION_OF[kind]
+        ppb = self.pages_per_block
+        ppns: List[int] = []
+        i, total = 0, len(metas)
+        while i < total:
+            block = self._active[region]
+            if block is None or block._write_ptr >= ppb:
+                block = self._allocate(region)
+            write_ptr = block._write_ptr
+            take = min(total - i, ppb - write_ptr)
+            end = write_ptr + take
+            block._states[write_ptr:end] = [PageState.VALID] * take
+            block._meta[write_ptr:end] = metas[i:i + take]
+            block._write_ptr = end
+            block.valid_count += take
+            self.op_seq += take
+            block.last_program_seq = self.op_seq
+            base = block.block_id * ppb + write_ptr
+            ppns.extend(range(base, base + take))
+            i += take
+        if kind is PageKind.DATA:
+            self._fold_data_writes += total
+        else:
+            self._fold_trans_writes += total
+        return ppns
+
+    def invalidate_batch(self, block: Block, offsets: List[int]) -> None:
+        """Fast-mode GC helper: invalidate valid pages of one block.
+
+        ``offsets`` must all be valid (the caller holds them from
+        :meth:`gc_scan_valid`); the victim index is refreshed once for
+        the whole batch instead of once per page.
+        """
+        if not self.fast_mode:
+            for offset in offsets:
+                block.invalidate(offset)
+            return
+        states = block._states
+        meta = block._meta
+        for offset in offsets:
+            if states[offset] is not PageState.VALID:
+                raise FlashError(
+                    f"batch invalidate of {states[offset].name} page "
+                    f"{offset} in block {block.block_id}")
+            states[offset] = PageState.INVALID
+            meta[offset] = None
+        count = len(offsets)
+        block.valid_count -= count
+        block.invalid_count += count
+        if count:
+            heapq.heappush(self.victim_heap,
+                           (-block.invalid_count, block.erase_count,
+                            block.block_id))
+
+    # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
     def program(self, kind: PageKind, meta: int) -> int:
@@ -159,6 +365,32 @@ class FlashMemory:
         (allocating a fresh frontier block if needed), as a real
         controller's write path does.
         """
+        if self.fast_mode:
+            # No injector, no bad pages: the write pointer always sits
+            # on a FREE page, so the state transition is unconditional.
+            # The frontier comes off the plain-attribute mirrors — no
+            # enum-keyed dict lookups on this per-page path.
+            if kind is PageKind.DATA:
+                block = self._active_data
+                if (block is None
+                        or block._write_ptr >= self.pages_per_block):
+                    block = self._allocate(BlockKind.DATA)
+                self._fold_data_writes += 1
+            else:
+                block = self._active_trans
+                if (block is None
+                        or block._write_ptr >= self.pages_per_block):
+                    block = self._allocate(BlockKind.TRANSLATION)
+                self._fold_trans_writes += 1
+            seq = self.op_seq + 1
+            self.op_seq = seq
+            offset = block._write_ptr
+            block._states[offset] = PageState.VALID
+            block._meta[offset] = meta
+            block._write_ptr = offset + 1
+            block.valid_count += 1
+            block.last_program_seq = seq
+            return block.block_id * self.pages_per_block + offset
         region = _REGION_OF[kind]
         while True:
             block = self._active[region]
@@ -219,6 +451,20 @@ class FlashMemory:
         flash operation.  Exhausting the budget raises
         :class:`~repro.errors.ReadError`.
         """
+        if self.fast_mode:
+            block = self.blocks[ppn // self.pages_per_block]
+            offset = ppn % self.pages_per_block
+            if block._states[offset] is not PageState.VALID:
+                raise FlashError(
+                    f"read of {block._states[offset].name} page at "
+                    f"PPN {ppn}")
+            if kind is PageKind.DATA:
+                self._fold_data_reads += 1
+            else:
+                self._fold_trans_reads += 1
+            # valid pages always carry metadata (the reference path's
+            # SimInvariantError guard is vacuous and skipped here)
+            return block._meta[offset]
         block = self.block_of(ppn)
         offset = self.offset_of(ppn)
         if block.state(offset) is not PageState.VALID:
@@ -247,6 +493,24 @@ class FlashMemory:
 
     def invalidate(self, ppn: int) -> None:
         """Invalidate the page at ``ppn`` (its content was superseded)."""
+        if self.fast_mode:
+            block = self.blocks[ppn // self.pages_per_block]
+            offset = ppn % self.pages_per_block
+            # Block.invalidate inlined (same check, same transition):
+            # this plus the heap push runs once per superseded page.
+            states = block._states
+            if states[offset] is not PageState.VALID:
+                raise ProgramError(
+                    f"page {offset} of block {block.block_id} is "
+                    f"{states[offset].name}, cannot invalidate")
+            states[offset] = PageState.INVALID
+            block._meta[offset] = None
+            block.valid_count -= 1
+            invalid = block.invalid_count + 1
+            block.invalid_count = invalid
+            heapq.heappush(self.victim_heap,
+                           (-invalid, block.erase_count, block.block_id))
+            return
         self.block_of(ppn).invalidate(self.offset_of(ppn))
 
     def erase(self, block_id: int) -> bool:
@@ -270,6 +534,41 @@ class FlashMemory:
         kind = block.kind
         if self._active.get(kind) is block:
             self._active[kind] = None
+            if kind is BlockKind.DATA:
+                self._active_data = None
+            elif kind is BlockKind.TRANSLATION:
+                self._active_trans = None
+        if self.fast_mode:
+            # No BAD pages exist, so the whole block returns to FREE
+            # and the per-page skip loop of Block.erase is unnecessary.
+            ppb = self.pages_per_block
+            old_count = block.erase_count
+            block._states = [PageState.FREE] * ppb
+            block._meta = [None] * ppb
+            block._write_ptr = 0
+            block.valid_count = 0
+            block.invalid_count = 0
+            block.erase_count = old_count + 1
+            block.kind = BlockKind.FREE
+            if kind is BlockKind.DATA:
+                self._fold_data_erases += 1
+            else:
+                self._fold_trans_erases += 1
+            # keep the erase-count spread exact: histogram + running max
+            hist = self._erase_hist
+            remaining = hist[old_count] - 1
+            if remaining:
+                hist[old_count] = remaining
+            else:
+                del hist[old_count]
+            new_count = old_count + 1
+            hist[new_count] = hist.get(new_count, 0) + 1
+            if new_count > self.max_erase:
+                self.max_erase = new_count
+            while self.min_erase not in hist:
+                self.min_erase += 1
+            self._free.append(block_id)
+            return True
         self.injector.on_operation()
         if self.injector.erase_fails():
             self.stats.record_erase_failure()
@@ -293,6 +592,10 @@ class FlashMemory:
         block = self.blocks[self._free.popleft()]
         block.kind = region
         self._active[region] = block
+        if region is BlockKind.DATA:
+            self._active_data = block
+        else:
+            self._active_trans = block
         return block
 
     def _retire(self, block: Block) -> None:

@@ -23,6 +23,7 @@ implicit (no byte arrays to maintain).
 from __future__ import annotations
 
 import abc
+import heapq
 from typing import Dict, List, Optional, TYPE_CHECKING, Tuple
 
 from ..config import SimulationConfig
@@ -151,8 +152,11 @@ class BaseFTL(abc.ABC):
     def serve_request(self, request: Request) -> AccessResult:
         """Serve one host request; returns its flash-operation costs."""
         result = AccessResult()
-        for lpn in request.pages():
-            self._serve_page(lpn, request.op, request, result)
+        op = request.op
+        serve = self._serve_page
+        first = request.lpn
+        for lpn in range(first, first + request.npages):
+            serve(lpn, op, request, result)
         return result
 
     def read_page(self, lpn: int) -> AccessResult:
@@ -225,15 +229,36 @@ class BaseFTL(abc.ABC):
 
         Writes every logical page once (sequentially) and materialises
         all translation pages, then zeroes the statistics so experiments
-        measure only the trace.
+        measure only the trace.  The fill is purely mechanical, so on an
+        ideal device (no fault plan armed) it goes through the fast
+        mode's chunked block fill — same frontier allocations, same
+        final ``op_seq``/``last_program_seq``, a fraction of the time;
+        with faults armed every program must roll the injector, so the
+        per-op reference loop runs instead.
         """
-        for lpn in range(self.ssd.logical_pages):
-            ppn = self.flash.program(PageKind.DATA, lpn)
-            self.flash_table[lpn] = ppn
-        if self.uses_translation_pages:
-            for vtpn in range(self.geometry.translation_pages):
-                ptpn = self.flash.program(PageKind.TRANSLATION, vtpn)
-                self.gtd.update(vtpn, ptpn)
+        flash = self.flash
+        if flash.injector.plan.is_noop and not flash.fast_mode:
+            flash.enter_fast_mode()
+            try:
+                pages = self.ssd.logical_pages
+                self.flash_table[:pages] = flash.program_batch(
+                    PageKind.DATA, range(pages))
+                if self.uses_translation_pages:
+                    ptpns = flash.program_batch(
+                        PageKind.TRANSLATION,
+                        range(self.geometry.translation_pages))
+                    for vtpn, ptpn in enumerate(ptpns):
+                        self.gtd.update(vtpn, ptpn)
+            finally:
+                flash.exit_fast_mode()
+        else:
+            for lpn in range(self.ssd.logical_pages):
+                ppn = self.flash.program(PageKind.DATA, lpn)
+                self.flash_table[lpn] = ppn
+            if self.uses_translation_pages:
+                for vtpn in range(self.geometry.translation_pages):
+                    ptpn = self.flash.program(PageKind.TRANSLATION, vtpn)
+                    self.gtd.update(vtpn, ptpn)
         self.flash.stats.reset()
         self.metrics = FTLMetrics()
 
@@ -245,30 +270,39 @@ class BaseFTL(abc.ABC):
         if not 0 <= lpn < self.ssd.logical_pages:
             raise TranslationError(
                 f"LPN {lpn} outside device ({self.ssd.logical_pages} pages)")
+        metrics = self.metrics
         ppn_old = self._translate(lpn, op, request, result)
         if op is Op.READ:
-            self.metrics.user_page_reads += 1
+            metrics.user_page_reads += 1
             if ppn_old == UNMAPPED:
                 # trimmed/never-written page: real SSDs return zeroes
                 # without touching flash
-                self.metrics.unmapped_reads += 1
+                metrics.unmapped_reads += 1
             else:
                 self.flash.read(ppn_old, PageKind.DATA)
                 result.data_reads += 1
         elif op is Op.WRITE:
-            self.metrics.user_page_writes += 1
+            metrics.user_page_writes += 1
             ppn_new = self.flash.program(PageKind.DATA, lpn)
             result.data_writes += 1
             if ppn_old != UNMAPPED:
                 self.flash.invalidate(ppn_old)
             self._record_mapping(lpn, ppn_new, result)
         else:  # TRIM: unmap without writing new data
-            self.metrics.user_page_trims += 1
+            metrics.user_page_trims += 1
             if ppn_old != UNMAPPED:
                 self.flash.invalidate(ppn_old)
                 self._record_mapping(lpn, UNMAPPED, result)
-        self._run_gc(result)
-        self._sanitize_op(lpn, op)
+        # ``flash.gc_needed`` inlined (one len() compare) so pages that
+        # trigger no GC skip the ``_run_gc`` call frame; with a wear
+        # leveler attached its nominate tail must still run every page.
+        flash = self.flash
+        if (len(flash._free) <= flash._gc_trigger
+                or self.wear_leveler is not None):
+            self._run_gc(result)
+        sanitizer = self.sanitizer
+        if sanitizer is not None:
+            sanitizer.after_op(lpn, op)
 
     def _sanitize_op(self, lpn: int, op: Op) -> None:
         """Feed one completed page operation to FTLSan (when attached).
@@ -394,7 +428,18 @@ class BaseFTL(abc.ABC):
             if guard > len(self.flash.blocks):
                 raise FTLError("GC did not converge")  # pragma: no cover
         if self.wear_leveler is not None:
-            device_max = max(b.erase_count for b in self.flash.blocks)
+            if self.flash.fast_mode:
+                # O(1) prefilter: the running max/min erase counts are
+                # exact, and the minimum over all blocks lower-bounds
+                # the minimum over the candidates — when the device-wide
+                # spread is below the threshold no candidate can clear
+                # it, so the nominate scan is provably a no-op.
+                if (self.flash.max_erase - self.flash.min_erase
+                        < self.wear_leveler.threshold):
+                    return
+                device_max = self.flash.max_erase
+            else:
+                device_max = max(b.erase_count for b in self.flash.blocks)
             nominee = self.wear_leveler.nominate(self._gc_candidates(),
                                                  max_erase=device_max)
             if nominee is not None:
@@ -413,8 +458,50 @@ class BaseFTL(abc.ABC):
                 and block not in active]
 
     def _select_victim(self) -> Optional[Block]:
+        if self.flash.fast_mode and type(self.victim_policy) is GreedyPolicy:
+            return self._select_victim_heap()
         return self.victim_policy.select(self._gc_candidates(),
                                          now_seq=self.flash.op_seq)
+
+    def _select_victim_heap(self) -> Optional[Block]:
+        """Greedy selection off the flash array's lazy victim heap.
+
+        The heap invariant (every collectible block has an entry with
+        its *current* counts) makes the top accurate entry exactly the
+        block :class:`GreedyPolicy` would pick from a full candidate
+        scan: max invalid count, ties to min erase count, then min
+        block id — the first-encountered block in the scan order.
+        Stale entries (counts moved on, or the block was erased) are
+        dropped; entries for the active write frontiers are deferred
+        and re-pushed, since those blocks become candidates as soon as
+        the frontier moves past them, without any further invalidation.
+        The winning entry is left in place: it invalidates itself when
+        the victim is erased.
+        """
+        flash = self.flash
+        heap = flash.victim_heap
+        blocks = flash.blocks
+        active_data = flash.active_block(BlockKind.DATA)
+        active_trans = flash.active_block(BlockKind.TRANSLATION)
+        deferred: List[Tuple[int, int, int]] = []
+        victim: Optional[Block] = None
+        while heap:
+            neg_invalid, erase_count, block_id = heap[0]
+            block = blocks[block_id]
+            if (block.invalid_count != -neg_invalid
+                    or block.erase_count != erase_count
+                    or block.is_free
+                    or block.kind is BlockKind.RETIRED):
+                heapq.heappop(heap)
+                continue
+            if block is active_data or block is active_trans:
+                deferred.append(heapq.heappop(heap))
+                continue
+            victim = block
+            break
+        for entry in deferred:
+            heapq.heappush(heap, entry)
+        return victim
 
     def _collect(self, victim: Block, result: AccessResult) -> None:
         kind = victim.kind
@@ -435,6 +522,9 @@ class BaseFTL(abc.ABC):
 
     def _collect_data_block(self, victim: Block,
                             result: AccessResult) -> None:
+        if self.flash.fast_mode:
+            self._collect_data_block_fast(victim, result)
+            return
         self.metrics.gc_data_collections += 1
         offsets = victim.valid_offsets()
         self.metrics.gc_data_valid_migrated += len(offsets)
@@ -452,6 +542,40 @@ class BaseFTL(abc.ABC):
             self.flash.invalidate(old_ppn)
             vtpn = self.geometry.vtpn_of(lpn)
             moved_by_vtpn.setdefault(vtpn, []).append((lpn, new_ppn))
+        self._gc_update_mappings(moved_by_vtpn, result)
+
+    def _collect_data_block_fast(self, victim: Block,
+                                 result: AccessResult) -> None:
+        """Batched data-block collection (fast mode only).
+
+        The mechanical slice — reading the victim's valid pages,
+        programming their copies at the frontier and invalidating the
+        originals — runs through the flash array's batch helpers with
+        one counter fold per batch; the policy slice (which mappings go
+        where, cache hits, piggybacked flushes) still runs the exact
+        per-entry path in :meth:`_gc_update_mappings`.
+        """
+        flash = self.flash
+        metrics = self.metrics
+        metrics.gc_data_collections += 1
+        pairs = flash.gc_scan_valid(victim, PageKind.DATA)
+        moved = len(pairs)
+        metrics.gc_data_valid_migrated += moved
+        if not moved:
+            return
+        lpns = [lpn for _, lpn in pairs]
+        new_ppns = flash.program_batch(PageKind.DATA, lpns)
+        flash.invalidate_batch(victim, [offset for offset, _ in pairs])
+        result.data_reads += moved
+        result.gc_data_reads += moved
+        result.data_writes += moved
+        result.gc_data_writes += moved
+        metrics.data_reads_migration += moved
+        metrics.data_writes_migration += moved
+        moved_by_vtpn: Dict[int, List[Tuple[int, int]]] = {}
+        vtpn_of = self.geometry.vtpn_of
+        for lpn, new_ppn in zip(lpns, new_ppns):
+            moved_by_vtpn.setdefault(vtpn_of(lpn), []).append((lpn, new_ppn))
         self._gc_update_mappings(moved_by_vtpn, result)
 
     def _gc_update_mappings(
@@ -481,6 +605,9 @@ class BaseFTL(abc.ABC):
 
     def _collect_translation_block(self, victim: Block,
                                    result: AccessResult) -> None:
+        if self.flash.fast_mode:
+            self._collect_translation_block_fast(victim, result)
+            return
         self.metrics.gc_translation_collections += 1
         offsets = victim.valid_offsets()
         self.metrics.gc_trans_valid_migrated += len(offsets)
@@ -495,6 +622,29 @@ class BaseFTL(abc.ABC):
             result.gc_translation_writes += 1
             self.metrics.trans_writes_migration += 1
             self.flash.invalidate(old_ptpn)
+            self.gtd.update(vtpn, new_ptpn)
+
+    def _collect_translation_block_fast(self, victim: Block,
+                                        result: AccessResult) -> None:
+        """Batched translation-block collection (fast mode only)."""
+        flash = self.flash
+        metrics = self.metrics
+        metrics.gc_translation_collections += 1
+        pairs = flash.gc_scan_valid(victim, PageKind.TRANSLATION)
+        moved = len(pairs)
+        metrics.gc_trans_valid_migrated += moved
+        if not moved:
+            return
+        vtpns = [vtpn for _, vtpn in pairs]
+        new_ptpns = flash.program_batch(PageKind.TRANSLATION, vtpns)
+        flash.invalidate_batch(victim, [offset for offset, _ in pairs])
+        result.translation_reads += moved
+        result.gc_translation_reads += moved
+        result.translation_writes += moved
+        result.gc_translation_writes += moved
+        metrics.trans_reads_migration += moved
+        metrics.trans_writes_migration += moved
+        for vtpn, new_ptpn in zip(vtpns, new_ptpns):
             self.gtd.update(vtpn, new_ptpn)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

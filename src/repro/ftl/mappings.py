@@ -33,17 +33,22 @@ class TranslationGeometry:
 
     def vtpn_of(self, lpn: int) -> int:
         """Translation page holding the entry for ``lpn``."""
-        self._check(lpn)
+        # bounds check inlined (these run several times per served
+        # page); _check only builds the error on the failing path
+        if not 0 <= lpn < self.logical_pages:
+            self._check(lpn)
         return lpn // self.entries_per_page
 
     def offset_of(self, lpn: int) -> int:
         """In-page slot of the entry for ``lpn``."""
-        self._check(lpn)
+        if not 0 <= lpn < self.logical_pages:
+            self._check(lpn)
         return lpn % self.entries_per_page
 
     def locate(self, lpn: int) -> Tuple[int, int]:
         """(vtpn, offset) of the entry for ``lpn``."""
-        self._check(lpn)
+        if not 0 <= lpn < self.logical_pages:
+            self._check(lpn)
         return divmod(lpn, self.entries_per_page)
 
     def first_lpn(self, vtpn: int) -> int:

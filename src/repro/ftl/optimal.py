@@ -27,8 +27,9 @@ class OptimalFTL(BaseFTL):
 
     def _translate(self, lpn: int, op: Op, request: Optional[Request],
                    result: AccessResult) -> int:
-        self.metrics.lookups += 1
-        self.metrics.hits += 1
+        metrics = self.metrics
+        metrics.lookups += 1
+        metrics.hits += 1
         return self.flash_table[lpn]
 
     def _record_mapping(self, lpn: int, ppn: int,

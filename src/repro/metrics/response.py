@@ -36,15 +36,24 @@ class ResponseStats:
 
     def record(self, timing: RequestTiming) -> None:
         """Fold one request timing into the running statistics."""
-        value = timing.response_time
+        self.record_timing(timing.arrival, timing.start, timing.finish)
+
+    def record_timing(self, arrival: float, start: float,
+                      finish: float) -> None:
+        """:meth:`record` without the :class:`RequestTiming` wrapper.
+
+        Identical arithmetic (``response = finish - arrival`` etc.), so
+        hot loops folding many timings can skip the per-request object.
+        """
+        value = finish - arrival
         self.count += 1
         delta = value - self.mean
         self.mean += delta / self.count
         self._m2 += delta * (value - self.mean)
         if value > self.max:
             self.max = value
-        self.total_queue_delay += timing.queue_delay
-        self.total_service_time += timing.service_time
+        self.total_queue_delay += start - arrival
+        self.total_service_time += finish - start
         if self.keep_samples:
             self.samples.append(value)
             self._sorted = None

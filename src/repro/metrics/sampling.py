@@ -65,6 +65,14 @@ class CacheSampler:
         """True when a positive sampling interval is set."""
         return self.interval > 0
 
+    def due(self, access_number: int) -> bool:
+        """True when :meth:`maybe_sample` would record at this count.
+
+        Lets hot loops skip building the cache snapshot argument on the
+        (vast majority of) requests that will not sample.
+        """
+        return self.enabled and access_number >= self._next_at
+
     def maybe_sample(self, access_number: int,
                      snapshot: Sequence[Tuple[int, int]]) -> bool:
         """Record a sample if ``access_number`` crossed the next boundary.
@@ -75,6 +83,13 @@ class CacheSampler:
         if not self.enabled or access_number < self._next_at:
             return False
         self._next_at += self.interval
+        if access_number >= self._next_at:
+            # A multi-page request can jump ``access_number`` past
+            # several boundaries at once; advance past it in one step,
+            # otherwise the sampler fires on every subsequent request
+            # until it catches up, oversampling the Fig 1/2 series.
+            missed = (access_number - self._next_at) // self.interval + 1
+            self._next_at += missed * self.interval
         self.record(access_number, snapshot)
         return True
 

@@ -5,10 +5,13 @@ GC accounting, background GC, per-run queue reset); :class:`SSDevice` is
 the paper-faithful single-channel queue and :class:`ChannelSSDevice`
 (extension) overlaps operations across several flash channels.  Use
 :func:`make_device` to pick a model by channel count.
+:func:`run_fast` replays a trace through the batched execution core —
+same results, several times faster.
 """
 
 from .device import DeviceModel, RunResult, SSDevice, simulate
+from .fastpath import run_fast
 from .parallel import ChannelSSDevice, make_device
 
 __all__ = ["DeviceModel", "SSDevice", "ChannelSSDevice", "RunResult",
-           "simulate", "make_device"]
+           "simulate", "make_device", "run_fast"]

@@ -53,6 +53,9 @@ class RunResult:
     gc_time_us: float = 0.0
     #: total flash service time (us) across measured requests
     service_time_us: float = 0.0
+    #: flash time spent on background (idle-time) GC (us); disjoint from
+    #: ``service_time_us``, which only covers request-triggered work
+    background_gc_time_us: float = 0.0
     #: victim blocks collected during host idle time
     background_collections: int = 0
     #: flash channels of the device model that produced this result
@@ -63,10 +66,18 @@ class RunResult:
 
     @property
     def gc_time_fraction(self) -> float:
-        """GC's share of total flash service time."""
-        if not self.service_time_us:
+        """GC's share of total flash service time.
+
+        The denominator covers everything the flash actually served:
+        request-triggered work plus background (idle-time) GC.
+        ``gc_time_us`` counts foreground GC (a subset of
+        ``service_time_us``) plus background GC (all of
+        ``background_gc_time_us``), so the fraction is always <= 1.
+        """
+        total = self.service_time_us + self.background_gc_time_us
+        if not total:
             return 0.0
-        return self.gc_time_us / self.service_time_us
+        return self.gc_time_us / total
 
     def summary(self) -> dict:
         """Headline numbers as a flat dict (handy in tests/benches)."""
@@ -135,6 +146,20 @@ class DeviceModel:
         """Queue one request's flash work; return ``(start, finish)``."""
         raise NotImplementedError
 
+    def _dispatch_fast(self, arrival: float, reads: int, writes: int,
+                       erases: int,
+                       service_us: float) -> Tuple[float, float]:
+        """:meth:`_dispatch` from bare op counts (fast-path hook).
+
+        Same queue arithmetic without the per-request ``AccessResult``;
+        subclasses override with an equivalent count-based placement.
+        """
+        return self._dispatch(
+            arrival,
+            AccessResult(data_reads=reads, data_writes=writes,
+                         erases=erases),
+            service_us)
+
     # ------------------------------------------------------------------
     # The replay loop
     # ------------------------------------------------------------------
@@ -169,6 +194,7 @@ class DeviceModel:
                    if self.sample_interval > 0 else None)
         gc_time = 0.0
         service_total = 0.0
+        background_gc_us = 0.0
         background_collections = 0
         makespan = 0.0
         for request in measured:
@@ -183,6 +209,7 @@ class DeviceModel:
                     background_collections += bg.erases
                     self._absorb_idle(bg_service)
                     gc_time += bg_service
+                    background_gc_us += bg_service
                     idle = request.arrival - self._earliest_free()
             cost = self.ftl.serve_request(request)
             service = cost.service_time(ssd.read_us, ssd.write_us,
@@ -221,6 +248,7 @@ class DeviceModel:
             makespan=makespan,
             gc_time_us=gc_time,
             service_time_us=service_total,
+            background_gc_time_us=background_gc_us,
             background_collections=background_collections,
             channels=self.channels,
             faults=self.ftl.flash.stats.fault_summary(),
@@ -248,18 +276,35 @@ class SSDevice(DeviceModel):
         self._busy_until = finish
         return start, finish
 
+    def _dispatch_fast(self, arrival: float, reads: int, writes: int,
+                       erases: int,
+                       service_us: float) -> Tuple[float, float]:
+        # single-server placement ignores the op mix entirely
+        start = max(arrival, self._busy_until)
+        finish = start + service_us
+        self._busy_until = finish
+        return start, finish
+
 
 def simulate(ftl: BaseFTL, trace: Trace, sample_interval: int = 0,
              keep_response_samples: bool = False,
-             warmup_requests: int = 0, channels: int = 1) -> RunResult:
+             warmup_requests: int = 0, channels: int = 1,
+             fast: bool = False) -> RunResult:
     """One-shot convenience: build a device around ``ftl`` and replay.
 
     ``channels=1`` (the default) uses the paper-faithful
     :class:`SSDevice`; larger counts build a
-    :class:`~repro.ssd.parallel.ChannelSSDevice`.
+    :class:`~repro.ssd.parallel.ChannelSSDevice`.  ``fast=True`` routes
+    the replay through the batched execution core
+    (:func:`~repro.ssd.fastpath.run_fast`), which produces a
+    field-for-field identical :class:`RunResult` several times faster;
+    the default stays on the reference path.
     """
     from .parallel import make_device
     device = make_device(ftl, channels=channels,
                          sample_interval=sample_interval,
                          keep_response_samples=keep_response_samples)
+    if fast:
+        from .fastpath import run_fast
+        return run_fast(device, trace, warmup_requests=warmup_requests)
     return device.run(trace, warmup_requests=warmup_requests)

@@ -1,0 +1,255 @@
+"""The batched execution core: the fast path over a device model.
+
+:func:`run_fast` replays a trace with the same semantics as
+:meth:`~repro.ssd.device.DeviceModel.run` but restructured around the
+policy/mechanical split:
+
+* the **policy slice** — cache hit/miss decisions, evictions, GC victim
+  selection, mapping updates — still runs exact per-operation Python
+  inside ``serve_request`` (with the flash array in fast mode, so the
+  mechanical flash work under it is batched: see
+  :meth:`~repro.flash.FlashMemory.enter_fast_mode`);
+* the **mechanical slice** of the run loop — service-time arithmetic,
+  GC-time accounting, queue dispatch and response statistics — is
+  deferred into one post-loop fold over numpy operation-count streams.
+
+Bit-for-bit parity with the reference path is a hard invariant, so the
+fold is careful about floating point:
+
+* per-request service times are computed *elementwise*
+  (``reads * read_us + writes * write_us + erases * erase_us``), which
+  performs exactly the reference's multiplications and additions per
+  element — no reassociation, identical bits;
+* the accumulators (``gc_time``, ``service_total``), the FIFO queue
+  recurrence (``busy = max(arrival, busy) + service``) and the Welford
+  response statistics are *order-dependent* folds, so they stay scalar
+  loops over the arrays — ``numpy.sum``/``cummax`` would reassociate
+  and drift in the last ulp;
+* queue placement calls the device's own ``_dispatch`` hook, so every
+  device model (single-server, multi-channel round-robin) times
+  requests through the very code the reference path uses.
+
+When background GC is enabled the queue state feeds back into the serve
+loop (idle-gap detection), so the timing fold cannot be deferred; the
+loop then mirrors the reference inline, still with the flash fast mode
+on.  Runs with a live fault plan fall back to the reference path
+entirely — fault injection is consulted per operation by design.
+
+The fault injector's ``ops_seen`` counter is not advanced in fast mode
+(nothing can fire, and ``RunResult`` never exposes it); everything else
+observable — metrics, flash statistics after the fold, sampler series,
+response statistics, makespan — is field-for-field identical, which the
+parity suite (``tests/test_fastpath.py``) asserts through the run
+cache's digest layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import WorkloadError
+from ..metrics import CacheSampler, FTLMetrics, ResponseStats
+from ..types import Trace
+from .device import DeviceModel, RunResult, SSDevice
+
+try:  # numpy accelerates the mechanical fold but is not required
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+
+def _service_times(reads: List[int], writes: List[int],
+                   erases: List[int], read_us: float, write_us: float,
+                   erase_us: float) -> List[float]:
+    """Elementwise ``r*read + w*write + e*erase`` per request.
+
+    The numpy expression multiplies and adds in the same order as
+    :meth:`~repro.types.AccessResult.service_time` does per request, so
+    each element is bit-identical to the reference computation; the
+    pure-Python fallback is the same expression spelled out.
+    """
+    if _np is not None:
+        service = (_np.asarray(reads, dtype=_np.float64) * read_us
+                   + _np.asarray(writes, dtype=_np.float64) * write_us
+                   + _np.asarray(erases, dtype=_np.float64) * erase_us)
+        return service.tolist()
+    return [r * read_us + w * write_us + e * erase_us
+            for r, w, e in zip(reads, writes, erases)]
+
+
+def run_fast(device: DeviceModel, trace: Trace,
+             warmup_requests: int = 0) -> RunResult:
+    """Replay ``trace`` on ``device`` through the batched core.
+
+    Produces a :class:`RunResult` field-for-field identical to
+    ``device.run(trace, warmup_requests)``; falls back to that
+    reference path when the device's fault plan can inject (fast mode
+    would skip the injector the plan needs to consult).
+    """
+    ftl = device.ftl
+    flash = ftl.flash
+    if not flash.injector.plan.is_noop:
+        return device.run(trace, warmup_requests=warmup_requests)
+    max_lpn = trace.max_lpn()
+    if max_lpn is not None and max_lpn >= ftl.ssd.logical_pages:
+        raise WorkloadError(
+            f"trace touches LPN {max_lpn} but the device has only "
+            f"{ftl.ssd.logical_pages} logical pages")
+    device._reset_queues()
+    measured = trace.requests
+    flash.enter_fast_mode()
+    try:
+        if warmup_requests > 0:
+            for request in trace.requests[:warmup_requests]:
+                ftl.serve_request(request)
+            ftl.metrics = FTLMetrics()
+            flash.fold_stats()
+            flash.stats.reset()
+            measured = trace.requests[warmup_requests:]
+        response = ResponseStats(
+            keep_samples=device.keep_response_samples)
+        sampler = (CacheSampler(interval=device.sample_interval)
+                   if device.sample_interval > 0 else None)
+        if device.background_gc:
+            result = _run_inline(device, measured, response, sampler)
+        else:
+            result = _run_deferred(device, measured, response, sampler)
+    finally:
+        flash.exit_fast_mode()
+    gc_time, service_total, background_gc_us, collections, makespan = result
+    return RunResult(
+        ftl_name=ftl.name,
+        trace_name=trace.name,
+        requests=len(measured),
+        metrics=ftl.metrics,
+        response=response,
+        sampler=sampler,
+        makespan=makespan,
+        gc_time_us=gc_time,
+        service_time_us=service_total,
+        background_gc_time_us=background_gc_us,
+        background_collections=collections,
+        channels=device.channels,
+        faults=flash.stats.fault_summary(),
+    )
+
+
+def _run_deferred(device: DeviceModel, measured, response: ResponseStats,
+                  sampler: Optional[CacheSampler]):
+    """Serve every request, then fold timing in one batched pass."""
+    ftl = device.ftl
+    ssd = ftl.ssd
+    metrics = ftl.metrics
+    arrivals: List[float] = []
+    total_reads: List[int] = []
+    total_writes: List[int] = []
+    erases: List[int] = []
+    gc_reads: List[int] = []
+    gc_writes: List[int] = []
+    for request in measured:
+        cost = ftl.serve_request(request)
+        arrivals.append(request.arrival)
+        total_reads.append(cost.data_reads + cost.translation_reads)
+        total_writes.append(cost.data_writes + cost.translation_writes)
+        erases.append(cost.erases)
+        gc_reads.append(cost.gc_data_reads + cost.gc_translation_reads)
+        gc_writes.append(cost.gc_data_writes + cost.gc_translation_writes)
+        if sampler is not None and sampler.due(metrics.user_page_accesses):
+            sampler.maybe_sample(metrics.user_page_accesses,
+                                 ftl.cache_snapshot())
+    service = _service_times(total_reads, total_writes, erases,
+                             ssd.read_us, ssd.write_us, ssd.erase_us)
+    gc_service = _service_times(gc_reads, gc_writes, erases,
+                                ssd.read_us, ssd.write_us, ssd.erase_us)
+    gc_time = 0.0
+    service_total = 0.0
+    makespan = 0.0
+    record = response.record_timing
+    if type(device) is SSDevice:
+        # Single-server FIFO: the queue recurrence is one running
+        # scalar, so inline it (same arithmetic as SSDevice._dispatch:
+        # ``start = max(arrival, busy); busy = start + service``)
+        # instead of a method call per request.
+        busy = device._busy_until
+        for arrival, reads, writes, erased, svc, gc_us in zip(
+                arrivals, total_reads, total_writes, erases, service,
+                gc_service):
+            gc_time += gc_us
+            service_total += svc
+            if reads or writes or erased:
+                start = arrival if arrival > busy else busy
+                busy = finish = start + svc
+            else:
+                start = finish = arrival
+            if finish > makespan:
+                makespan = finish
+            record(arrival, start, finish)
+        device._busy_until = busy
+    else:
+        dispatch = device._dispatch_fast
+        for arrival, reads, writes, erased, svc, gc_us in zip(
+                arrivals, total_reads, total_writes, erases, service,
+                gc_service):
+            gc_time += gc_us
+            service_total += svc
+            if reads or writes or erased:
+                start, finish = dispatch(arrival, reads, writes, erased,
+                                         svc)
+            else:
+                start = finish = arrival
+            if finish > makespan:
+                makespan = finish
+            record(arrival, start, finish)
+    return gc_time, service_total, 0.0, 0, makespan
+
+
+def _run_inline(device: DeviceModel, measured, response: ResponseStats,
+                sampler: Optional[CacheSampler]):
+    """Reference-shaped loop (background GC feeds queue state back into
+    the serve loop) with the flash fast mode still active."""
+    ftl = device.ftl
+    ssd = ftl.ssd
+    metrics = ftl.metrics
+    gc_time = 0.0
+    service_total = 0.0
+    background_gc_us = 0.0
+    background_collections = 0
+    makespan = 0.0
+    for request in measured:
+        idle = request.arrival - device._earliest_free()
+        while idle >= device.background_gc_min_idle_us:
+            bg = ftl.background_collect(max_blocks=1)
+            bg_service = bg.service_time(ssd.read_us, ssd.write_us,
+                                         ssd.erase_us)
+            if bg_service == 0.0:
+                break
+            background_collections += bg.erases
+            device._absorb_idle(bg_service)
+            gc_time += bg_service
+            background_gc_us += bg_service
+            idle = request.arrival - device._earliest_free()
+        cost = ftl.serve_request(request)
+        service = cost.service_time(ssd.read_us, ssd.write_us,
+                                    ssd.erase_us)
+        gc_ops = type(cost)(
+            data_reads=cost.gc_data_reads,
+            data_writes=cost.gc_data_writes,
+            translation_reads=cost.gc_translation_reads,
+            translation_writes=cost.gc_translation_writes,
+            erases=cost.erases)
+        gc_time += gc_ops.service_time(ssd.read_us, ssd.write_us,
+                                       ssd.erase_us)
+        service_total += service
+        if cost.total_reads or cost.total_writes or cost.erases:
+            start, finish = device._dispatch(request.arrival, cost,
+                                             service)
+        else:
+            start = finish = request.arrival
+        if finish > makespan:
+            makespan = finish
+        response.record_timing(request.arrival, start, finish)
+        if sampler is not None and sampler.due(metrics.user_page_accesses):
+            sampler.maybe_sample(metrics.user_page_accesses,
+                                 ftl.cache_snapshot())
+    return (gc_time, service_total, background_gc_us,
+            background_collections, makespan)

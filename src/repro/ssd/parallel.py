@@ -75,21 +75,50 @@ class ChannelSSDevice(DeviceModel):
             self._busy[0] = finish
             return start, finish
         ssd = self.ftl.ssd
-        ops: List[float] = []
-        ops.extend([ssd.read_us] * cost.total_reads)
-        ops.extend([ssd.write_us] * cost.total_writes)
-        ops.extend([ssd.erase_us] * cost.erases)
+        return self._dispatch_counts(
+            arrival, cost.total_reads, cost.total_writes, cost.erases,
+            ssd.read_us, ssd.write_us, ssd.erase_us)
+
+    def _dispatch_fast(self, arrival: float, reads: int, writes: int,
+                       erases: int,
+                       service_us: float) -> Tuple[float, float]:
+        if self.channels == 1:
+            start = max(arrival, self._busy[0])
+            finish = start + service_us
+            self._busy[0] = finish
+            return start, finish
+        ssd = self.ftl.ssd
+        return self._dispatch_counts(arrival, reads, writes, erases,
+                                     ssd.read_us, ssd.write_us,
+                                     ssd.erase_us)
+
+    def _dispatch_counts(self, arrival: float, reads: int, writes: int,
+                         erases: int, read_us: float, write_us: float,
+                         erase_us: float) -> Tuple[float, float]:
+        """Round-robin ``reads`` + ``writes`` + ``erases`` ops.
+
+        Counted iteration over (latency, count) pairs — no per-request
+        op-list materialization — with the same dispatch order (reads,
+        then writes, then erases) and the same per-op float arithmetic
+        as before, so replays stay bit-for-bit identical.
+        """
+        busy = self._busy
+        cursor = self._cursor
+        channels = self.channels
         start = None
         finish = arrival
-        for latency in ops:
-            channel = self._cursor
-            self._cursor = (self._cursor + 1) % self.channels
-            op_start = max(arrival, self._busy[channel])
-            self._busy[channel] = op_start + latency
-            if start is None or op_start < start:
-                start = op_start
-            if self._busy[channel] > finish:
-                finish = self._busy[channel]
+        for latency, count in ((read_us, reads), (write_us, writes),
+                               (erase_us, erases)):
+            for _ in range(count):
+                channel = cursor
+                cursor = (cursor + 1) % channels
+                op_start = max(arrival, busy[channel])
+                busy[channel] = op_start + latency
+                if start is None or op_start < start:
+                    start = op_start
+                if busy[channel] > finish:
+                    finish = busy[channel]
+        self._cursor = cursor
         return start, finish
 
 

@@ -1,0 +1,266 @@
+"""The batched execution core: parity with the reference path.
+
+The fast path's contract is *field-for-field identity*: for any run the
+reference path can execute, :func:`repro.ssd.run_fast` must produce a
+:class:`RunResult` whose JSON encoding — the exact representation the
+run cache persists and digests — is byte-identical.  The tests here
+diff the two paths through that digest layer across the tier-1
+workload x FTL matrix, the multi-channel device model, background GC
+and sanitized runs, plus the regression tests for the accounting and
+sampling bugs fixed alongside the fast path:
+
+* ``CacheSampler.maybe_sample`` previously fired on every request after
+  a multi-page request jumped the access counter past several
+  boundaries at once (catch-up oversampling);
+* ``RunResult.gc_time_fraction`` previously divided by request service
+  time only, so background GC could push the "fraction" past 1.
+"""
+
+import dataclasses
+import hashlib
+import json
+import random
+
+import pytest
+
+from repro.config import CacheConfig, SimulationConfig, SSDConfig
+from repro.errors import FlashError
+from repro.experiments.common import ExperimentScale
+from repro.experiments.runner import (RunSpec, decode_result,
+                                      encode_result, execute_spec,
+                                      fastpath_enabled)
+from repro.ftl import OptimalFTL, make_ftl
+from repro.metrics import CacheSampler
+from repro.ssd import SSDevice, run_fast
+from repro.types import Op, Request, Trace
+
+from conftest import make_trace, random_ops
+
+#: CI-sized cells: big enough to cycle GC on every FTL, small enough
+#: that the full parity matrix stays a few seconds per cell
+PARITY_SCALE = ExperimentScale(num_requests=2_500, warmup_requests=500)
+
+TIER1_WORKLOADS = ("financial1", "financial2", "msr-src", "msr-ts")
+FTLS = ("dftl", "tpftl", "optimal")
+
+
+def digest(result) -> str:
+    """The parity key: sha256 of the run cache's JSON encoding.
+
+    Byte-identical encodings mean every field the cache can observe —
+    metrics, response statistics (including the Welford internals),
+    sampler series, timings, fault counters — is identical.
+    """
+    payload = json.dumps(encode_result(result), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def run_both(spec: RunSpec):
+    """Execute one cell through both cores and return the results."""
+    reference = execute_spec(spec, fast=False)
+    fast = execute_spec(spec, fast=True)
+    return reference, fast
+
+
+class TestTier1Parity:
+    """Reference and fast paths agree on every tier-1 cell."""
+
+    @pytest.mark.parametrize("workload", TIER1_WORKLOADS)
+    @pytest.mark.parametrize("ftl", FTLS)
+    def test_cell_parity(self, workload, ftl):
+        spec = RunSpec(workload=workload, ftl=ftl, scale=PARITY_SCALE,
+                       sample_interval=400)
+        reference, fast = run_both(spec)
+        assert digest(reference) == digest(fast)
+
+    def test_parity_survives_decode_roundtrip(self):
+        spec = RunSpec(workload="financial2", ftl="dftl",
+                       scale=PARITY_SCALE, sample_interval=400)
+        reference, fast = run_both(spec)
+        decoded = decode_result(encode_result(fast))
+        assert digest(decoded) == digest(reference)
+
+    def test_multichannel_parity(self):
+        spec = RunSpec(workload="financial2", ftl="dftl",
+                       scale=PARITY_SCALE, channels=4)
+        reference, fast = run_both(spec)
+        assert reference.channels == fast.channels == 4
+        assert digest(reference) == digest(fast)
+
+    def test_fastpath_is_the_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FASTPATH", raising=False)
+        assert fastpath_enabled()
+        monkeypatch.setenv("REPRO_FASTPATH", "reference")
+        assert not fastpath_enabled()
+        monkeypatch.setenv("REPRO_FASTPATH", "1")
+        assert fastpath_enabled()
+
+
+class TestDeviceLevelParity:
+    """run_fast against DeviceModel.run on hand-built devices."""
+
+    def _trace(self, count=1_500, seed=11):
+        return make_trace(random_ops(count, 512, seed=seed))
+
+    def test_warmup_parity(self, roomy_config):
+        results = []
+        for fast in (False, True):
+            ftl = make_ftl("dftl", roomy_config)
+            device = SSDevice(ftl, sample_interval=200)
+            runner = run_fast if fast else type(device).run
+            results.append(runner(device, self._trace(),
+                                  warmup_requests=300))
+        assert digest(results[0]) == digest(results[1])
+
+    def test_background_gc_parity(self, tiny_config):
+        trace = bursty_write_trace(bursts=60)
+        results = []
+        for fast in (False, True):
+            device = SSDevice(OptimalFTL(tiny_config),
+                              background_gc=True)
+            runner = run_fast if fast else type(device).run
+            results.append(runner(device, trace))
+        reference, fast = results
+        assert reference.background_collections > 0
+        assert digest(reference) == digest(fast)
+
+    def test_fault_plan_falls_back_to_reference(self):
+        ssd = SSDConfig(logical_pages=512, page_size=256,
+                        pages_per_block=8, read_error_rate=0.01)
+        config = SimulationConfig(ssd=ssd)
+        trace = self._trace(count=600)
+        results = []
+        for fast in (False, True):
+            device = SSDevice(OptimalFTL(config))
+            runner = run_fast if fast else type(device).run
+            results.append(runner(device, trace))
+        assert digest(results[0]) == digest(results[1])
+
+    def test_fast_mode_refuses_live_fault_plan(self):
+        ssd = SSDConfig(logical_pages=512, page_size=256,
+                        pages_per_block=8, read_error_rate=0.01)
+        ftl = OptimalFTL(SimulationConfig(ssd=ssd))
+        with pytest.raises(FlashError):
+            ftl.flash.enter_fast_mode()
+
+    def test_sanitizer_sees_every_op(self, sanitized_config):
+        """FTLSan runs in the policy slice: full per-op coverage."""
+        ops = random_ops(800, 512, seed=5)
+        trace = make_trace(ops)
+        ftl = make_ftl("tpftl", sanitized_config)
+        device = SSDevice(ftl)
+        run_fast(device, trace)
+        assert ftl.sanitizer is not None
+        assert ftl.sanitizer.op_seq == sum(n for _, _, n in ops)
+
+    def test_fast_mode_exits_after_run(self, roomy_config):
+        ftl = make_ftl("dftl", roomy_config)
+        device = SSDevice(ftl)
+        run_fast(device, self._trace(count=200))
+        assert not ftl.flash.fast_mode
+        # the flash is reusable on the reference path afterwards
+        device.run(self._trace(count=50, seed=12))
+
+
+def bursty_write_trace(pages=512, bursts=40, burst_len=20,
+                       gap_us=50_000.0, seed=3) -> Trace:
+    """Write bursts separated by idle gaps (drives background GC)."""
+    rng = random.Random(seed)
+    requests = []
+    clock = 0.0
+    for _ in range(bursts):
+        for _ in range(burst_len):
+            clock += 50.0
+            requests.append(Request(arrival=clock, op=Op.WRITE,
+                                    lpn=rng.randrange(pages), npages=1))
+        clock += gap_us
+    return Trace(requests=requests, logical_pages=pages)
+
+
+class TestGCTimeFractionInvariant:
+    """Regression: background GC used to push the fraction past 1."""
+
+    @pytest.mark.parametrize("fast", (False, True))
+    def test_fraction_bounded_with_background_gc(self, tiny_config,
+                                                 fast):
+        device = SSDevice(OptimalFTL(tiny_config), background_gc=True)
+        trace = bursty_write_trace(bursts=80)
+        runner = run_fast if fast else type(device).run
+        result = runner(device, trace)
+        # the setup reproduces the bug: plenty of background GC time
+        # relative to request service time
+        assert result.background_gc_time_us > 0.0
+        assert result.gc_time_us >= result.background_gc_time_us
+        assert 0.0 <= result.gc_time_fraction <= 1.0
+        # the old denominator (request service time only) blows past 1
+        assert (result.gc_time_us / result.service_time_us) > 1.0
+
+    def test_background_time_disjoint_from_service(self, tiny_config):
+        device = SSDevice(OptimalFTL(tiny_config), background_gc=True)
+        result = device.run(bursty_write_trace(bursts=80))
+        # foreground GC is part of service time; background GC is not
+        assert result.service_time_us > 0.0
+        assert (result.gc_time_us
+                <= result.service_time_us + result.background_gc_time_us)
+
+
+class TestSamplerCatchUp:
+    """Regression: multi-page jumps used to trigger oversampling."""
+
+    def test_multiboundary_jump_samples_once(self):
+        sampler = CacheSampler(interval=10)
+        # one giant request jumps the counter across 5 boundaries
+        assert sampler.maybe_sample(52, [(4, 1)])
+        assert len(sampler.samples) == 1
+        # the very next requests must NOT all sample (the old bug:
+        # _next_at lagged at 20 and every call >= 20 fired)
+        assert not sampler.maybe_sample(53, [(4, 1)])
+        assert not sampler.maybe_sample(59, [(4, 1)])
+        assert sampler.maybe_sample(60, [(4, 1)])
+        assert [s.access_number for s in sampler.samples] == [52, 60]
+
+    def test_exact_boundary_keeps_cadence(self):
+        sampler = CacheSampler(interval=10)
+        fired = [n for n in range(1, 51)
+                 if sampler.maybe_sample(n, [(1, 0)])]
+        assert fired == [10, 20, 30, 40, 50]
+
+    def test_due_matches_maybe_sample(self):
+        probe = CacheSampler(interval=7)
+        mirror = CacheSampler(interval=7)
+        jumps = [3, 7, 8, 20, 21, 22, 49, 50, 90]
+        for n in jumps:
+            would = probe.due(n)
+            did = mirror.maybe_sample(n, [(1, 0)])
+            assert would == did
+            if did:
+                probe.maybe_sample(n, [(1, 0)])
+
+    def test_disabled_sampler_never_due(self):
+        sampler = CacheSampler(interval=0)
+        assert not sampler.due(10 ** 9)
+        assert not sampler.maybe_sample(10 ** 9, [(1, 0)])
+
+
+class TestVictimHeapEquivalence:
+    """Fast-mode GC picks the same victims as the reference scan."""
+
+    def test_greedy_selection_matches(self, tiny_config):
+        ops = random_ops(2_000, 512, seed=21, write_ratio=0.9)
+        trace = make_trace(ops)
+        results = []
+        for fast in (False, True):
+            ftl = make_ftl("dftl", dataclasses.replace(
+                tiny_config, cache=CacheConfig(budget_bytes=1024)))
+            device = SSDevice(ftl)
+            runner = run_fast if fast else type(device).run
+            results.append((runner(device, trace), ftl))
+        (ref_result, ref_ftl), (fast_result, fast_ftl) = results
+        assert ref_result.metrics.gc_data_collections > 0
+        assert digest(ref_result) == digest(fast_result)
+        # physical end state matches block for block
+        for ref_block, fast_block in zip(ref_ftl.flash.blocks,
+                                         fast_ftl.flash.blocks):
+            assert ref_block.erase_count == fast_block.erase_count
+            assert ref_block.valid_count == fast_block.valid_count
+            assert ref_block.invalid_count == fast_block.invalid_count
