@@ -6,7 +6,8 @@ from typing import Callable, Dict
 
 from ..errors import ExperimentError
 from . import (analysis, channels, faults, fig1, fig2, fig6, fig7, fig8,
-               fig9, fig10, model_check, table2, threshold_sweep)
+               fig9, fig10, model_check, table2, threshold_sweep,
+               traffic)
 from .common import ExperimentResult, ExperimentScale
 
 #: every table/figure of the paper's evaluation, in paper order
@@ -38,6 +39,7 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentScale], ExperimentResult]] = {
     "faults": faults.run,
     "analysis": analysis.run,
     "channels": channels.run,
+    "traffic": traffic.run,
 }
 
 

@@ -58,14 +58,15 @@ from ..ftl import make_ftl
 from ..metrics import CacheSample, CacheSampler, FTLMetrics, ResponseStats
 from ..ssd import RunResult, simulate
 from ..types import Trace
-from ..workloads import make_preset
+from ..workloads import TrafficSpec, compose, make_preset
 from .common import ExperimentScale, simulation_config
 from .supervisor import (JOURNAL_NAME, Journal, RetryPolicy, Supervisor,
                          Task)
 
 #: bump when the cache-file layout or RunResult encoding changes
-#: (3: RunResult grew ``background_gc_time_us``)
-CACHE_SCHEMA = 3
+#: (3: RunResult grew ``background_gc_time_us``; 4: per-tenant
+#: response statistics and the ``qos`` dispatch-policy field)
+CACHE_SCHEMA = 4
 #: environment variable overriding the worker count (``--jobs`` wins)
 JOBS_ENV = "REPRO_JOBS"
 #: environment variable selecting the execution core: truthy values
@@ -98,6 +99,15 @@ class RunSpec:
     ``rsbc``); ``channels`` selects the device model (1 = the paper's
     single-server queue).  The digest is stable across processes and
     runs: it hashes the canonical JSON of every field.
+
+    A ``traffic`` spec replaces the single-stream preset with a
+    composed multi-tenant schedule (``workload`` then only labels the
+    cell; the trace comes from :func:`~repro.workloads.compose`).
+    ``qos`` picks the dispatch policy and ``keep_response_samples``
+    retains per-request samples for percentile reads.  All three
+    default to the paper model and are *omitted from the canonical
+    form at their defaults*, so every pre-existing cell digest — and
+    therefore every existing cache entry address — is unchanged.
     """
 
     workload: str
@@ -108,6 +118,9 @@ class RunSpec:
     seed: Optional[int] = None
     sample_interval: int = 0
     channels: int = 1
+    traffic: Optional[TrafficSpec] = None
+    qos: str = "fifo"
+    keep_response_samples: bool = False
 
     @classmethod
     def for_ablation(cls, monogram: str, scale: ExperimentScale,
@@ -119,8 +132,15 @@ class RunSpec:
                    tpftl=TPFTLConfig.from_monogram(monogram))
 
     def canonical(self) -> Dict[str, Any]:
-        """The spec as a JSON-safe dict with a stable key order."""
-        return {
+        """The spec as a JSON-safe dict with a stable key order.
+
+        The post-v3 fields (``traffic``, ``qos``,
+        ``keep_response_samples``) appear only when they deviate from
+        the paper-model defaults: a default-valued spec canonicalises
+        exactly as it did before those fields existed, keeping every
+        historical digest (and cache address) valid.
+        """
+        data: Dict[str, Any] = {
             "workload": self.workload,
             "ftl": self.ftl,
             "scale": dataclasses.asdict(self.scale),
@@ -131,6 +151,13 @@ class RunSpec:
             "sample_interval": self.sample_interval,
             "channels": self.channels,
         }
+        if self.traffic is not None:
+            data["traffic"] = self.traffic.canonical()
+        if self.qos != "fifo":
+            data["qos"] = self.qos
+        if self.keep_response_samples:
+            data["keep_response_samples"] = True
+        return data
 
     @property
     def digest(self) -> str:
@@ -147,6 +174,10 @@ class RunSpec:
             parts.append(f"cf={self.cache_fraction:g}")
         if self.channels != 1:
             parts.append(f"ch={self.channels}")
+        if self.traffic is not None:
+            parts.append(f"mix={len(self.traffic.tenants)}t")
+        if self.qos != "fifo":
+            parts.append(self.qos)
         return ":".join(parts)
 
 
@@ -157,18 +188,33 @@ _TRACE_MEMO: Dict[Tuple, Trace] = {}
 
 
 def build_spec_trace(spec: RunSpec) -> Trace:
-    """Build (or reuse) the deterministic trace a spec describes."""
+    """Build (or reuse) the deterministic trace a spec describes.
+
+    Traffic cells compose their multi-tenant schedule from the embedded
+    :class:`~repro.workloads.TrafficSpec` (which carries its own
+    namespace sizes, request budgets and seeds); single-stream cells
+    generate their preset from the experiment scale as before.  Both
+    are memoised per process — composition is deterministic.
+    """
     scale = spec.scale
-    pages = (scale.msr_pages if spec.workload.startswith("msr")
-             else scale.financial_pages)
-    key = (spec.workload, pages, scale.num_requests, spec.seed)
+    if spec.traffic is not None:
+        key: Tuple = ("traffic",
+                      json.dumps(spec.traffic.canonical(),
+                                 sort_keys=True))
+    else:
+        pages = (scale.msr_pages if spec.workload.startswith("msr")
+                 else scale.financial_pages)
+        key = (spec.workload, pages, scale.num_requests, spec.seed)
     trace = _TRACE_MEMO.get(key)
     if trace is None:
-        kwargs: Dict[str, Any] = dict(logical_pages=pages,
-                                      num_requests=scale.num_requests)
-        if spec.seed is not None:
-            kwargs["seed"] = spec.seed
-        trace = make_preset(spec.workload, **kwargs)
+        if spec.traffic is not None:
+            trace = compose(spec.traffic)
+        else:
+            kwargs: Dict[str, Any] = dict(logical_pages=pages,
+                                          num_requests=scale.num_requests)
+            if spec.seed is not None:
+                kwargs["seed"] = spec.seed
+            trace = make_preset(spec.workload, **kwargs)
         while len(_TRACE_MEMO) >= TRACE_MEMO_ENTRIES:
             _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
         _TRACE_MEMO[key] = trace
@@ -199,9 +245,14 @@ def execute_spec(spec: RunSpec, fast: Optional[bool] = None) -> RunResult:
     ftl = make_ftl(spec.ftl, config)
     if fast is None:
         fast = fastpath_enabled()
+    weights = (spec.traffic.weights()
+               if spec.traffic is not None and spec.qos == "fair"
+               else None)
     return simulate(ftl, trace, sample_interval=spec.sample_interval,
+                    keep_response_samples=spec.keep_response_samples,
                     warmup_requests=spec.scale.warmup_requests,
-                    channels=config.channels, fast=fast)
+                    channels=config.channels, fast=fast, qos=spec.qos,
+                    tenant_weights=weights)
 
 
 def _timed_execute(spec: RunSpec) -> Tuple[RunResult, float]:
@@ -215,9 +266,33 @@ def _timed_execute(spec: RunSpec) -> Tuple[RunResult, float]:
 # ----------------------------------------------------------------------
 # RunResult <-> JSON
 # ----------------------------------------------------------------------
+def _encode_stats(stats: ResponseStats) -> Dict[str, Any]:
+    """One :class:`ResponseStats` as a JSON-safe dict."""
+    return {
+        "count": stats.count,
+        "mean": stats.mean,
+        "m2": stats._m2,
+        "max": stats.max,
+        "total_queue_delay": stats.total_queue_delay,
+        "total_service_time": stats.total_service_time,
+        "keep_samples": stats.keep_samples,
+        "samples": list(stats.samples),
+    }
+
+
+def _decode_stats(payload: Dict[str, Any]) -> ResponseStats:
+    """Rebuild a :class:`ResponseStats` from :func:`_encode_stats`."""
+    return ResponseStats(
+        count=payload["count"], mean=payload["mean"],
+        _m2=payload["m2"], max=payload["max"],
+        total_queue_delay=payload["total_queue_delay"],
+        total_service_time=payload["total_service_time"],
+        keep_samples=payload["keep_samples"],
+        samples=[float(v) for v in payload["samples"]])
+
+
 def encode_result(result: RunResult) -> Dict[str, Any]:
     """Encode a :class:`RunResult` as a JSON-safe dict."""
-    response = result.response
     sampler = None
     if result.sampler is not None:
         sampler = {
@@ -234,16 +309,7 @@ def encode_result(result: RunResult) -> Dict[str, Any]:
         "trace_name": result.trace_name,
         "requests": result.requests,
         "metrics": dataclasses.asdict(result.metrics),
-        "response": {
-            "count": response.count,
-            "mean": response.mean,
-            "m2": response._m2,
-            "max": response.max,
-            "total_queue_delay": response.total_queue_delay,
-            "total_service_time": response.total_service_time,
-            "keep_samples": response.keep_samples,
-            "samples": list(response.samples),
-        },
+        "response": _encode_stats(result.response),
         "sampler": sampler,
         "makespan": result.makespan,
         "gc_time_us": result.gc_time_us,
@@ -252,6 +318,9 @@ def encode_result(result: RunResult) -> Dict[str, Any]:
         "background_collections": result.background_collections,
         "channels": result.channels,
         "faults": dict(result.faults),
+        "tenants": {name: _encode_stats(stats)
+                    for name, stats in sorted(result.tenants.items())},
+        "qos": result.qos,
     }
 
 
@@ -261,13 +330,7 @@ def decode_result(payload: Dict[str, Any]) -> RunResult:
     Raises on any shape mismatch (missing keys, renamed fields); the
     cache layer treats every decoding error as a miss.
     """
-    resp = payload["response"]
-    response = ResponseStats(
-        count=resp["count"], mean=resp["mean"], _m2=resp["m2"],
-        max=resp["max"], total_queue_delay=resp["total_queue_delay"],
-        total_service_time=resp["total_service_time"],
-        keep_samples=resp["keep_samples"],
-        samples=[float(v) for v in resp["samples"]])
+    response = _decode_stats(payload["response"])
     sampler = None
     if payload["sampler"] is not None:
         samp = payload["sampler"]
@@ -293,6 +356,9 @@ def decode_result(payload: Dict[str, Any]) -> RunResult:
         background_collections=payload["background_collections"],
         channels=payload["channels"],
         faults=dict(payload["faults"]),
+        tenants={name: _decode_stats(stats)
+                 for name, stats in payload["tenants"].items()},
+        qos=payload["qos"],
     )
 
 

@@ -30,9 +30,14 @@ class ResponseStats:
     total_service_time: float = 0.0
     keep_samples: bool = False
     samples: List[float] = field(default_factory=list)
-    #: sorted view of ``samples``, rebuilt lazily (None = dirty)
+    #: sorted view of ``samples``, rebuilt lazily when dirty
     _sorted: Optional[List[float]] = field(default=None, repr=False,
                                            compare=False)
+    #: explicit invalidation flag for ``_sorted``: set by *every*
+    #: mutation (``record``/``record_timing``/``merge``), so the cache
+    #: can never serve stale percentiles after a same-length
+    #: replacement of ``samples`` — a length comparison would miss it
+    _sorted_dirty: bool = field(default=True, repr=False, compare=False)
 
     def record(self, timing: RequestTiming) -> None:
         """Fold one request timing into the running statistics."""
@@ -56,7 +61,7 @@ class ResponseStats:
         self.total_service_time += finish - start
         if self.keep_samples:
             self.samples.append(value)
-            self._sorted = None
+            self._sorted_dirty = True
 
     @property
     def variance(self) -> float:
@@ -101,7 +106,61 @@ class ResponseStats:
                 "keep_response_samples=True to the device)")
         if not self.samples:
             return None
-        if self._sorted is None or len(self._sorted) != len(self.samples):
+        if self._sorted_dirty or self._sorted is None:
             self._sorted = sorted(self.samples)
+            self._sorted_dirty = False
         rank = max(1, math.ceil(p / 100.0 * len(self._sorted)))
         return self._sorted[rank - 1]
+
+    def invalidate(self) -> None:
+        """Mark the sorted-percentile cache dirty.
+
+        Callers that mutate :attr:`samples` directly (in-place edits,
+        same-length replacement) must call this; the class's own
+        mutators do it automatically.
+        """
+        self._sorted_dirty = True
+
+    def merge(self, other: "ResponseStats") -> None:
+        """Fold another instance's statistics into this one, in place.
+
+        Combines the streaming moments with the pairwise (Chan et al.)
+        update, so merging per-tenant statistics reproduces the numbers
+        a single instance recording every request would hold (mean and
+        max exactly; variance up to floating-point reassociation).
+        Samples are concatenated when both sides kept them; a merge
+        that mixes a sampled side with an unsampled-but-populated side
+        drops ``keep_samples`` so percentiles fail loudly instead of
+        silently reporting a subset.
+        """
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.max = other.max
+            self.total_queue_delay = other.total_queue_delay
+            self.total_service_time = other.total_service_time
+            self.keep_samples = other.keep_samples
+            self.samples = list(other.samples)
+            self._sorted_dirty = True
+            return
+        merged = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 = (self._m2 + other._m2
+                    + delta * delta * self.count * other.count / merged)
+        self.mean += delta * other.count / merged
+        self.count = merged
+        if other.max > self.max:
+            self.max = other.max
+        self.total_queue_delay += other.total_queue_delay
+        self.total_service_time += other.total_service_time
+        if self.keep_samples and other.keep_samples:
+            self.samples.extend(other.samples)
+        elif self.keep_samples or other.keep_samples:
+            # one side aggregated without samples: a percentile over
+            # the surviving subset would be silently wrong
+            self.keep_samples = False
+            self.samples = []
+        self._sorted_dirty = True

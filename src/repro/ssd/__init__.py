@@ -9,9 +9,11 @@ the paper-faithful single-channel queue and :class:`ChannelSSDevice`
 same results, several times faster.
 """
 
-from .device import DeviceModel, RunResult, SSDevice, simulate
+from .device import (QOS_POLICIES, DeviceModel, FairShare, RunResult,
+                     SSDevice, simulate)
 from .fastpath import run_fast
 from .parallel import ChannelSSDevice, make_device
 
 __all__ = ["DeviceModel", "SSDevice", "ChannelSSDevice", "RunResult",
-           "simulate", "make_device", "run_fast"]
+           "simulate", "make_device", "run_fast", "FairShare",
+           "QOS_POLICIES"]

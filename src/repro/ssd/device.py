@@ -29,12 +29,77 @@ Unified timing semantics (identical in every device model):
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from ..errors import WorkloadError
+from ..errors import ConfigError, WorkloadError
 from ..ftl.base import BaseFTL
 from ..metrics import CacheSampler, FTLMetrics, ResponseStats
 from ..types import AccessResult, RequestTiming, Trace
+
+#: dispatch policies understood by :class:`DeviceModel`
+QOS_POLICIES = ("fifo", "fair")
+
+
+class FairShare:
+    """Weighted fair-share dispatch state (the ``qos="fair"`` policy).
+
+    A quasi-stationary approximation of generalized processor sharing:
+    every tenant owns a FIFO *lane*, and a request's service is
+    stretched by the reciprocal of its tenant's weight share among the
+    tenants backlogged at its arrival instant.  A lone backlogged
+    tenant therefore receives the full device (share 1 — the arithmetic
+    degenerates to the single-server FIFO recurrence exactly), while
+    under contention each tenant's queue grows only with its *own*
+    offered load: one tenant driven into overload cannot starve the
+    others, which is the isolation property the ``traffic`` experiment
+    measures.  Unattributed requests (``tenant=None``) share one
+    default lane with weight 1.
+    """
+
+    def __init__(self, weights: Optional[Dict[str, float]] = None
+                 ) -> None:
+        self.weights: Dict[str, float] = dict(weights or {})
+        for tenant, weight in self.weights.items():
+            if weight <= 0:
+                raise ConfigError(
+                    f"tenant weight must be positive: {tenant}={weight}")
+        #: per-tenant lane horizon (simulated us); reset per run
+        self.lanes: Dict[Optional[str], float] = {}
+
+    def reset(self) -> None:
+        """Forget all lane state (start of a run)."""
+        self.lanes = {}
+
+    def weight(self, tenant: Optional[str]) -> float:
+        """A tenant's fair-share weight (default 1)."""
+        if tenant is None:
+            return 1.0
+        return self.weights.get(tenant, 1.0)
+
+    def dispatch(self, arrival: float, service_us: float,
+                 tenant: Optional[str]) -> Tuple[float, float]:
+        """Place one request on its tenant's lane; ``(start, finish)``.
+
+        The effective share is evaluated once, at the arrival instant
+        (quasi-stationary): tenants whose lane horizon extends past
+        ``arrival`` are backlogged and dilute each other's shares in
+        weight proportion.
+        """
+        lanes = self.lanes
+        lane = lanes.get(tenant, 0.0)
+        total = self.weight(tenant)
+        for other, busy in lanes.items():
+            if other != tenant and busy > arrival:
+                total += self.weight(other)
+        share = self.weight(tenant) / total
+        start = arrival if arrival > lane else lane
+        finish = start + service_us / share
+        lanes[tenant] = finish
+        return start, finish
+
+    def earliest_free(self) -> float:
+        """When every lane has drained (0.0 before any dispatch)."""
+        return max(self.lanes.values(), default=0.0)
 
 
 @dataclasses.dataclass
@@ -63,6 +128,12 @@ class RunResult:
     #: reliability counters from FlashStats.fault_summary() (injected
     #: faults, ECC retries, retired blocks); all zero on a healthy run
     faults: dict = dataclasses.field(default_factory=dict)
+    #: per-tenant response statistics, keyed by tenant name; empty for
+    #: single-stream (unattributed) traces
+    tenants: Dict[str, ResponseStats] = dataclasses.field(
+        default_factory=dict)
+    #: dispatch policy that produced this result ("fifo" = paper model)
+    qos: str = "fifo"
 
     @property
     def gc_time_fraction(self) -> float:
@@ -91,7 +162,14 @@ class RunResult:
             "makespan_us": self.makespan,
             "gc_time_fraction": self.gc_time_fraction,
             "channels": self.channels,
+            "qos": self.qos,
         })
+        if self.tenants:
+            data["tenants"] = {
+                name: {"requests": stats.count,
+                       "mean_response_us": stats.mean,
+                       "mean_queue_delay_us": stats.mean_queue_delay}
+                for name, stats in sorted(self.tenants.items())}
         data.update(self.faults)
         return data
 
@@ -117,18 +195,42 @@ class DeviceModel:
     def __init__(self, ftl: BaseFTL, sample_interval: int = 0,
                  keep_response_samples: bool = False,
                  background_gc: bool = False,
-                 background_gc_min_idle_us: float = 2_000.0) -> None:
+                 background_gc_min_idle_us: float = 2_000.0,
+                 qos: str = "fifo",
+                 tenant_weights: Optional[Dict[str, float]] = None
+                 ) -> None:
         self.ftl = ftl
         self.sample_interval = sample_interval
         self.keep_response_samples = keep_response_samples
         #: collect victims during idle gaps (extension; off = paper model)
         self.background_gc = background_gc
         self.background_gc_min_idle_us = background_gc_min_idle_us
-        self._reset_queues()
+        if qos not in QOS_POLICIES:
+            raise ConfigError(
+                f"unknown qos policy {qos!r}; choose from "
+                f"{', '.join(QOS_POLICIES)}")
+        #: dispatch policy; "fifo" (the default) is the paper's model
+        #: and leaves every timing untouched, "fair" routes requests
+        #: through weighted per-tenant lanes (:class:`FairShare`)
+        self.qos = qos
+        self._fair = (FairShare(tenant_weights) if qos == "fair"
+                      else None)
+        if self._fair is not None and background_gc:
+            raise ConfigError(
+                "background_gc is only modelled under the FIFO "
+                "dispatch policy (fair-share lanes have no single "
+                "idle-gap notion to absorb idle-time GC into)")
+        self._reset_state()
 
     # ------------------------------------------------------------------
     # Queueing hooks
     # ------------------------------------------------------------------
+    def _reset_state(self) -> None:
+        """Forget queue *and* QoS lane state (start of every run)."""
+        self._reset_queues()
+        if self._fair is not None:
+            self._fair.reset()
+
     def _reset_queues(self) -> None:
         """Forget all queue state (called at the start of every run)."""
         raise NotImplementedError
@@ -160,6 +262,71 @@ class DeviceModel:
                          erases=erases),
             service_us)
 
+    def _parallel_service_us(self, reads: int, writes: int, erases: int,
+                             service_us: float) -> float:
+        """A request's service time with all its ops overlapped.
+
+        The fair-share policy dispatches at *request* granularity, so
+        devices with internal parallelism report here how long the
+        request occupies them when it has the device to itself
+        (single-server models: the plain op-sum ``service_us``).
+        """
+        return service_us
+
+    def _place(self, arrival: float, cost: AccessResult,
+               service_us: float, tenant: Optional[str]
+               ) -> Tuple[float, float]:
+        """Route one request through the active dispatch policy."""
+        if self._fair is not None:
+            return self._fair.dispatch(
+                arrival,
+                self._parallel_service_us(cost.total_reads,
+                                          cost.total_writes, cost.erases,
+                                          service_us),
+                tenant)
+        return self._dispatch(arrival, cost, service_us)
+
+    def _place_fast(self, arrival: float, reads: int, writes: int,
+                    erases: int, service_us: float,
+                    tenant: Optional[str]) -> Tuple[float, float]:
+        """:meth:`_place` from bare op counts (fast-path hook)."""
+        if self._fair is not None:
+            return self._fair.dispatch(
+                arrival,
+                self._parallel_service_us(reads, writes, erases,
+                                          service_us),
+                tenant)
+        return self._dispatch_fast(arrival, reads, writes, erases,
+                                   service_us)
+
+    # ------------------------------------------------------------------
+    # Trace validation
+    # ------------------------------------------------------------------
+    def _validate_trace(self, trace: Trace) -> None:
+        """Reject traces the queue math cannot time truthfully.
+
+        Beyond the address-space bound, arrivals must be non-decreasing:
+        the FIFO recurrence charges ``start - arrival`` as queueing
+        delay, so an out-of-order arrival would silently *under-report*
+        delay for every request it jumped ahead of.  The trace parsers
+        sort defensively and the synthetic/traffic generators emit
+        ordered schedules, so an unordered trace here is a caller bug.
+        """
+        max_lpn = trace.max_lpn()
+        if max_lpn is not None and max_lpn >= self.ftl.ssd.logical_pages:
+            raise WorkloadError(
+                f"trace touches LPN {max_lpn} but the device has only "
+                f"{self.ftl.ssd.logical_pages} logical pages")
+        previous = 0.0
+        for index, request in enumerate(trace.requests):
+            if request.arrival < previous:
+                raise WorkloadError(
+                    f"trace arrivals are not non-decreasing: request "
+                    f"{index} arrives at {request.arrival} after "
+                    f"{previous}; sort the trace (the parsers do) or "
+                    f"fix the generator")
+            previous = request.arrival
+
     # ------------------------------------------------------------------
     # The replay loop
     # ------------------------------------------------------------------
@@ -175,12 +342,8 @@ class DeviceModel:
         warmup phase nor a previous replay ever leaks into the measured
         timings.
         """
-        max_lpn = trace.max_lpn()
-        if max_lpn is not None and max_lpn >= self.ftl.ssd.logical_pages:
-            raise WorkloadError(
-                f"trace touches LPN {max_lpn} but the device has only "
-                f"{self.ftl.ssd.logical_pages} logical pages")
-        self._reset_queues()
+        self._validate_trace(trace)
+        self._reset_state()
         ssd = self.ftl.ssd
         measured = trace.requests
         if warmup_requests > 0:
@@ -190,6 +353,7 @@ class DeviceModel:
             self.ftl.flash.stats.reset()
             measured = trace.requests[warmup_requests:]
         response = ResponseStats(keep_samples=self.keep_response_samples)
+        tenants: Dict[str, ResponseStats] = {}
         sampler = (CacheSampler(interval=self.sample_interval)
                    if self.sample_interval > 0 else None)
         gc_time = 0.0
@@ -224,8 +388,8 @@ class DeviceModel:
                                            ssd.erase_us)
             service_total += service
             if cost.total_reads or cost.total_writes or cost.erases:
-                start, finish = self._dispatch(request.arrival, cost,
-                                               service)
+                start, finish = self._place(request.arrival, cost,
+                                            service, request.tenant)
             else:
                 # No flash touched (pure cache hit / cached TRIM): the
                 # request completes at arrival and is charged no
@@ -234,7 +398,14 @@ class DeviceModel:
             if finish > makespan:
                 makespan = finish
             response.record(RequestTiming(arrival=request.arrival,
-                                          start=start, finish=finish))
+                                          start=start, finish=finish,
+                                          tenant=request.tenant))
+            if request.tenant is not None:
+                per_tenant = tenants.get(request.tenant)
+                if per_tenant is None:
+                    per_tenant = tenants[request.tenant] = ResponseStats(
+                        keep_samples=self.keep_response_samples)
+                per_tenant.record_timing(request.arrival, start, finish)
             if sampler is not None:
                 sampler.maybe_sample(self.ftl.metrics.user_page_accesses,
                                      self.ftl.cache_snapshot())
@@ -252,6 +423,8 @@ class DeviceModel:
             background_collections=background_collections,
             channels=self.channels,
             faults=self.ftl.flash.stats.fault_summary(),
+            tenants=tenants,
+            qos=self.qos,
         )
 
 
@@ -289,7 +462,9 @@ class SSDevice(DeviceModel):
 def simulate(ftl: BaseFTL, trace: Trace, sample_interval: int = 0,
              keep_response_samples: bool = False,
              warmup_requests: int = 0, channels: int = 1,
-             fast: bool = False) -> RunResult:
+             fast: bool = False, qos: str = "fifo",
+             tenant_weights: Optional[Dict[str, float]] = None
+             ) -> RunResult:
     """One-shot convenience: build a device around ``ftl`` and replay.
 
     ``channels=1`` (the default) uses the paper-faithful
@@ -298,12 +473,15 @@ def simulate(ftl: BaseFTL, trace: Trace, sample_interval: int = 0,
     the replay through the batched execution core
     (:func:`~repro.ssd.fastpath.run_fast`), which produces a
     field-for-field identical :class:`RunResult` several times faster;
-    the default stays on the reference path.
+    the default stays on the reference path.  ``qos="fair"`` switches
+    dispatch to weighted per-tenant fair-share lanes (the paper-default
+    ``"fifo"`` leaves every timing untouched).
     """
     from .parallel import make_device
     device = make_device(ftl, channels=channels,
                          sample_interval=sample_interval,
-                         keep_response_samples=keep_response_samples)
+                         keep_response_samples=keep_response_samples,
+                         qos=qos, tenant_weights=tenant_weights)
     if fast:
         from .fastpath import run_fast
         return run_fast(device, trace, warmup_requests=warmup_requests)

@@ -45,9 +45,8 @@ cache's digest layer.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
-from ..errors import WorkloadError
 from ..metrics import CacheSampler, FTLMetrics, ResponseStats
 from ..types import Trace
 from .device import DeviceModel, RunResult, SSDevice
@@ -90,12 +89,8 @@ def run_fast(device: DeviceModel, trace: Trace,
     flash = ftl.flash
     if not flash.injector.plan.is_noop:
         return device.run(trace, warmup_requests=warmup_requests)
-    max_lpn = trace.max_lpn()
-    if max_lpn is not None and max_lpn >= ftl.ssd.logical_pages:
-        raise WorkloadError(
-            f"trace touches LPN {max_lpn} but the device has only "
-            f"{ftl.ssd.logical_pages} logical pages")
-    device._reset_queues()
+    device._validate_trace(trace)
+    device._reset_state()
     measured = trace.requests
     flash.enter_fast_mode()
     try:
@@ -108,12 +103,15 @@ def run_fast(device: DeviceModel, trace: Trace,
             measured = trace.requests[warmup_requests:]
         response = ResponseStats(
             keep_samples=device.keep_response_samples)
+        tenants: Dict[str, ResponseStats] = {}
         sampler = (CacheSampler(interval=device.sample_interval)
                    if device.sample_interval > 0 else None)
         if device.background_gc:
-            result = _run_inline(device, measured, response, sampler)
+            result = _run_inline(device, measured, response, tenants,
+                                 sampler)
         else:
-            result = _run_deferred(device, measured, response, sampler)
+            result = _run_deferred(device, measured, response, tenants,
+                                   sampler)
     finally:
         flash.exit_fast_mode()
     gc_time, service_total, background_gc_us, collections, makespan = result
@@ -131,16 +129,42 @@ def run_fast(device: DeviceModel, trace: Trace,
         background_collections=collections,
         channels=device.channels,
         faults=flash.stats.fault_summary(),
+        tenants=tenants,
+        qos=device.qos,
     )
 
 
+def _tenant_recorder(device: DeviceModel,
+                     tenants: Dict[str, ResponseStats]):
+    """A fold step attributing one timing to its tenant's statistics.
+
+    Mirrors the reference loop's per-tenant block exactly (same
+    ``ResponseStats`` construction, same ``record_timing`` arithmetic),
+    so per-tenant moments stay bit-for-bit across paths.
+    """
+    keep = device.keep_response_samples
+
+    def record(tenant: Optional[str], arrival: float, start: float,
+               finish: float) -> None:
+        if tenant is None:
+            return
+        stats = tenants.get(tenant)
+        if stats is None:
+            stats = tenants[tenant] = ResponseStats(keep_samples=keep)
+        stats.record_timing(arrival, start, finish)
+
+    return record
+
+
 def _run_deferred(device: DeviceModel, measured, response: ResponseStats,
+                  tenants: Dict[str, ResponseStats],
                   sampler: Optional[CacheSampler]):
     """Serve every request, then fold timing in one batched pass."""
     ftl = device.ftl
     ssd = ftl.ssd
     metrics = ftl.metrics
     arrivals: List[float] = []
+    owners: List[Optional[str]] = []
     total_reads: List[int] = []
     total_writes: List[int] = []
     erases: List[int] = []
@@ -149,6 +173,7 @@ def _run_deferred(device: DeviceModel, measured, response: ResponseStats,
     for request in measured:
         cost = ftl.serve_request(request)
         arrivals.append(request.arrival)
+        owners.append(request.tenant)
         total_reads.append(cost.data_reads + cost.translation_reads)
         total_writes.append(cost.data_writes + cost.translation_writes)
         erases.append(cost.erases)
@@ -165,15 +190,17 @@ def _run_deferred(device: DeviceModel, measured, response: ResponseStats,
     service_total = 0.0
     makespan = 0.0
     record = response.record_timing
-    if type(device) is SSDevice:
+    attribute = _tenant_recorder(device, tenants)
+    if type(device) is SSDevice and device._fair is None:
         # Single-server FIFO: the queue recurrence is one running
         # scalar, so inline it (same arithmetic as SSDevice._dispatch:
         # ``start = max(arrival, busy); busy = start + service``)
-        # instead of a method call per request.
+        # instead of a method call per request.  Fair-share dispatch
+        # carries per-tenant lane state, so it takes the hook branch.
         busy = device._busy_until
-        for arrival, reads, writes, erased, svc, gc_us in zip(
-                arrivals, total_reads, total_writes, erases, service,
-                gc_service):
+        for arrival, owner, reads, writes, erased, svc, gc_us in zip(
+                arrivals, owners, total_reads, total_writes, erases,
+                service, gc_service):
             gc_time += gc_us
             service_total += svc
             if reads or writes or erased:
@@ -184,32 +211,36 @@ def _run_deferred(device: DeviceModel, measured, response: ResponseStats,
             if finish > makespan:
                 makespan = finish
             record(arrival, start, finish)
+            attribute(owner, arrival, start, finish)
         device._busy_until = busy
     else:
-        dispatch = device._dispatch_fast
-        for arrival, reads, writes, erased, svc, gc_us in zip(
-                arrivals, total_reads, total_writes, erases, service,
-                gc_service):
+        dispatch = device._place_fast
+        for arrival, owner, reads, writes, erased, svc, gc_us in zip(
+                arrivals, owners, total_reads, total_writes, erases,
+                service, gc_service):
             gc_time += gc_us
             service_total += svc
             if reads or writes or erased:
                 start, finish = dispatch(arrival, reads, writes, erased,
-                                         svc)
+                                         svc, owner)
             else:
                 start = finish = arrival
             if finish > makespan:
                 makespan = finish
             record(arrival, start, finish)
+            attribute(owner, arrival, start, finish)
     return gc_time, service_total, 0.0, 0, makespan
 
 
 def _run_inline(device: DeviceModel, measured, response: ResponseStats,
+                tenants: Dict[str, ResponseStats],
                 sampler: Optional[CacheSampler]):
     """Reference-shaped loop (background GC feeds queue state back into
     the serve loop) with the flash fast mode still active."""
     ftl = device.ftl
     ssd = ftl.ssd
     metrics = ftl.metrics
+    attribute = _tenant_recorder(device, tenants)
     gc_time = 0.0
     service_total = 0.0
     background_gc_us = 0.0
@@ -241,13 +272,14 @@ def _run_inline(device: DeviceModel, measured, response: ResponseStats,
                                        ssd.erase_us)
         service_total += service
         if cost.total_reads or cost.total_writes or cost.erases:
-            start, finish = device._dispatch(request.arrival, cost,
-                                             service)
+            start, finish = device._place(request.arrival, cost,
+                                          service, request.tenant)
         else:
             start = finish = request.arrival
         if finish > makespan:
             makespan = finish
         response.record_timing(request.arrival, start, finish)
+        attribute(request.tenant, request.arrival, start, finish)
         if sampler is not None and sampler.due(metrics.user_page_accesses):
             sampler.maybe_sample(metrics.user_page_accesses,
                                  ftl.cache_snapshot())

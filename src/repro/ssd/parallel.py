@@ -92,6 +92,30 @@ class ChannelSSDevice(DeviceModel):
                                      ssd.read_us, ssd.write_us,
                                      ssd.erase_us)
 
+    def _parallel_service_us(self, reads: int, writes: int, erases: int,
+                             service_us: float) -> float:
+        """Striped makespan of the request on an otherwise-idle device.
+
+        Fair-share dispatch places whole requests, so the channel
+        model's contribution is the length of the request's own op
+        schedule: ops round-robined from channel 0 (the striping
+        pattern :meth:`_dispatch_counts` uses), makespan = the busiest
+        channel's op-latency sum.  ``channels=1`` degenerates to the
+        single-server op sum exactly.
+        """
+        if self.channels == 1:
+            return service_us
+        ssd = self.ftl.ssd
+        per_channel = [0.0] * self.channels
+        cursor = 0
+        for latency, count in ((ssd.read_us, reads),
+                               (ssd.write_us, writes),
+                               (ssd.erase_us, erases)):
+            for _ in range(count):
+                per_channel[cursor] += latency
+                cursor = (cursor + 1) % self.channels
+        return max(per_channel)
+
     def _dispatch_counts(self, arrival: float, reads: int, writes: int,
                          erases: int, read_us: float, write_us: float,
                          erase_us: float) -> Tuple[float, float]:

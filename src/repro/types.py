@@ -83,13 +83,19 @@ class Request:
 
     ``arrival`` is in simulated microseconds from trace start.  ``lpn`` is
     the first logical page touched and ``npages`` the run length, so the
-    request spans ``[lpn, lpn + npages)``.
+    request spans ``[lpn, lpn + npages)``.  ``tenant`` names the traffic
+    stream the request belongs to (multi-tenant traces, see
+    :mod:`repro.workloads.traffic`); ``None`` — the default for every
+    single-stream trace — means the request is unattributed and the
+    device keeps no per-tenant statistics for it.
     """
 
     arrival: float
     op: Op
     lpn: LPN
     npages: int
+    #: tenant stream this request belongs to (None = unattributed)
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.npages <= 0:
@@ -165,11 +171,17 @@ class AccessResult:
 
 @dataclass
 class RequestTiming:
-    """Timing of one served request under the FIFO queueing model."""
+    """Timing of one served request under the FIFO queueing model.
+
+    ``tenant`` carries the request's stream identity (when the trace is
+    multi-tenant) so response statistics can be attributed per tenant.
+    """
 
     arrival: float
     start: float
     finish: float
+    #: tenant stream the timed request belongs to (None = unattributed)
+    tenant: Optional[str] = None
 
     @property
     def response_time(self) -> float:

@@ -14,6 +14,8 @@ from .presets import (PRESET_NAMES, financial1, financial2, make_preset,
 from .spc import load_spc_trace, parse_spc_lines
 from .stats import WorkloadStats, characterize
 from .synthetic import SyntheticSpec, generate
+from .traffic import (ARRIVAL_KINDS, ArrivalModel, TenantSpec,
+                      TrafficSpec, compose, uniform_mix)
 from .writers import (msr_lines, spc_lines, write_msr_trace,
                       write_spc_trace)
 
@@ -25,4 +27,6 @@ __all__ = [
     "load_msr_trace", "parse_msr_lines",
     "write_spc_trace", "write_msr_trace", "spc_lines", "msr_lines",
     "WorkloadStats", "characterize",
+    "ArrivalModel", "TenantSpec", "TrafficSpec", "compose",
+    "uniform_mix", "ARRIVAL_KINDS",
 ]

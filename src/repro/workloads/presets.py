@@ -113,7 +113,7 @@ def msr_ts(logical_pages: int = MSR_PAGES,
         streams=4,
         mean_stream_pages=128,
         stream_align=64,
-        stream_start_alpha=14.0,
+        stream_start_alpha=24.0,
         mean_interarrival_us=6000.0,
         seed=seed,
     )
@@ -140,7 +140,7 @@ def msr_src(logical_pages: int = MSR_PAGES,
         streams=4,
         mean_stream_pages=96,
         stream_align=64,
-        stream_start_alpha=14.0,
+        stream_start_alpha=24.0,
         mean_interarrival_us=6000.0,
         seed=seed,
     )

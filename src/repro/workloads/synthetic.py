@@ -177,13 +177,25 @@ def generate(spec: SyntheticSpec) -> Trace:
             pool = streams[direction]
             stream = pool[current[direction]]
             if stream.remaining < npages:
-                # rotate to a fresh stream and start a new run
-                current[direction] = rng.randrange(len(pool))
+                # Rotate to another stream, preferring one whose live
+                # run can absorb this request; a stream is only
+                # restarted (position/remaining reset) when it cannot —
+                # an unconditional reset here would clobber the other
+                # streams' in-progress runs and collapse the documented
+                # concurrent sticky streams into one effective stream.
+                eligible = [i for i, s in enumerate(pool)
+                            if s.remaining >= npages]
+                if eligible:
+                    current[direction] = eligible[
+                        rng.randrange(len(eligible))]
+                else:
+                    current[direction] = rng.randrange(len(pool))
                 stream = pool[current[direction]]
-                stream.position = stream_start()
-                run = max(npages, int(rng.expovariate(
-                    1.0 / spec.mean_stream_pages)) + 1)
-                stream.remaining = run
+                if stream.remaining < npages:
+                    stream.position = stream_start()
+                    run = max(npages, int(rng.expovariate(
+                        1.0 / spec.mean_stream_pages)) + 1)
+                    stream.remaining = run
             lpn = stream.position
             if lpn + npages > pages:
                 lpn = 0

@@ -130,6 +130,90 @@ class TestResponseStats:
         with pytest.raises(ValueError):
             stats.percentile(101)
 
+    def test_invalidate_covers_same_length_replacement(self):
+        """A length-equality heuristic would serve stale percentiles.
+
+        Replacing ``samples`` with a same-length list (as codecs do
+        when rebuilding stats) must not reuse the cached sort once the
+        caller declares the mutation via :meth:`invalidate`.
+        """
+        stats = ResponseStats(keep_samples=True)
+        self.record(stats, [1.0, 2.0, 3.0])
+        assert stats.percentile(100) == 3.0  # populate the cache
+        stats.samples = [7.0, 8.0, 9.0]      # same length, new values
+        stats.invalidate()
+        assert stats.percentile(100) == 9.0
+        assert stats.percentile(1) == 7.0
+
+
+class TestResponseStatsMerge:
+    def fill(self, stats, timings):
+        for arrival, start, finish in timings:
+            stats.record(RequestTiming(arrival=arrival, start=start,
+                                       finish=finish))
+
+    def split_vs_whole(self, keep_samples=True):
+        timings = [(float(i), float(i) + i % 7, float(i) + 10 + 3 * i)
+                   for i in range(40)]
+        whole = ResponseStats(keep_samples=keep_samples)
+        self.fill(whole, timings)
+        parts = [ResponseStats(keep_samples=keep_samples)
+                 for _ in range(3)]
+        for index, timing in enumerate(timings):
+            self.fill(parts[index % 3], [timing])
+        merged = ResponseStats(keep_samples=keep_samples)
+        for part in parts:
+            merged.merge(part)
+        return merged, whole
+
+    def test_merge_reproduces_single_stream_moments(self):
+        merged, whole = self.split_vs_whole()
+        assert merged.count == whole.count
+        assert merged.max == whole.max
+        assert merged.mean == pytest.approx(whole.mean, rel=1e-12)
+        assert merged.variance == pytest.approx(whole.variance,
+                                                rel=1e-9)
+        assert merged.total_queue_delay == pytest.approx(
+            whole.total_queue_delay)
+        assert merged.total_service_time == pytest.approx(
+            whole.total_service_time)
+        assert sorted(merged.samples) == sorted(whole.samples)
+        assert merged.percentile(99) == whole.percentile(99)
+
+    def test_merge_empty_sides(self):
+        merged, whole = self.split_vs_whole()
+        before = (merged.count, merged.mean, merged.max)
+        merged.merge(ResponseStats(keep_samples=True))  # no-op
+        assert (merged.count, merged.mean, merged.max) == before
+        fresh = ResponseStats(keep_samples=True)
+        fresh.merge(whole)  # full copy
+        assert fresh.count == whole.count
+        assert fresh.mean == whole.mean
+        assert fresh.samples == whole.samples
+        assert fresh.samples is not whole.samples  # defensive copy
+
+    def test_merge_invalidates_percentile_cache(self):
+        stats = ResponseStats(keep_samples=True)
+        self.fill(stats, [(0.0, 0.0, 5.0)])
+        assert stats.percentile(100) == 5.0  # populate the cache
+        other = ResponseStats(keep_samples=True)
+        self.fill(other, [(0.0, 0.0, 50.0)])
+        stats.merge(other)
+        assert stats.percentile(100) == 50.0
+
+    def test_merge_mixed_sampling_fails_loudly(self):
+        """Sampled + unsampled merge must not report subset percentiles."""
+        sampled = ResponseStats(keep_samples=True)
+        self.fill(sampled, [(0.0, 0.0, 5.0)])
+        unsampled = ResponseStats()
+        self.fill(unsampled, [(0.0, 0.0, 9.0)])
+        sampled.merge(unsampled)
+        assert sampled.count == 2
+        assert sampled.max == 9.0
+        assert not sampled.keep_samples
+        with pytest.raises(MetricsError):
+            sampled.percentile(99)
+
 
 class TestCacheSampler:
     def test_interval_gating(self):

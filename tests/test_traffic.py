@@ -1,0 +1,432 @@
+"""The open-loop multi-tenant traffic frontend and QoS dispatch.
+
+Covers the composition layer (arrival models, namespace slicing, merge
+determinism), tenant threading through the device models (per-tenant
+response statistics, fair-share lanes, single-tenant degeneration to
+the paper's FIFO arithmetic bit-for-bit), fast-path parity on traffic
+workloads, the runner's digest-neutral spec extension, and the
+``traffic`` registry experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import random
+
+import pytest
+
+from repro.config import SimulationConfig, SSDConfig
+from repro.errors import ConfigError, WorkloadError
+from repro.experiments import ExperimentScale
+from repro.experiments.common import clear_matrix_cache
+from repro.experiments.runner import (RunSpec, decode_result,
+                                      encode_result, execute_spec)
+from repro.ftl import make_ftl
+from repro.ssd import ChannelSSDevice, SSDevice, run_fast, simulate
+from repro.types import Op, Request, Trace
+from repro.workloads import (ARRIVAL_KINDS, ArrivalModel, TenantSpec,
+                             TrafficSpec, compose, uniform_mix)
+
+TINY = ExperimentScale(
+    name="tiny", num_requests=900, warmup_requests=200,
+    financial_pages=2048, msr_pages=4096,
+    cache_fractions=(1 / 32, 1.0), sample_interval=0)
+
+
+def tiny_mix(tenants=2, kind="poisson", requests=400, pages=1024,
+             weights=None, seed=3, interarrival=500.0) -> TrafficSpec:
+    """A small homogeneous mix for device-level tests."""
+    return uniform_mix(
+        "mix", "financial1", tenants, requests, pages,
+        arrival=ArrivalModel(kind=kind,
+                             mean_interarrival_us=interarrival),
+        weights=weights, seed=seed)
+
+
+def sim_config(trace: Trace) -> SimulationConfig:
+    """A small geometry sized to the composed trace."""
+    return SimulationConfig(ssd=SSDConfig(
+        logical_pages=trace.logical_pages, page_size=256,
+        pages_per_block=8))
+
+
+def digest(result) -> str:
+    """Parity key: sha256 of the run cache's JSON encoding."""
+    payload = json.dumps(encode_result(result), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class TestArrivalModel:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(WorkloadError, match="arrival kind"):
+            ArrivalModel(kind="constant")
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(WorkloadError):
+            ArrivalModel(mean_interarrival_us=0.0)
+        with pytest.raises(WorkloadError):
+            ArrivalModel(kind="bursty", burst_factor=1.0)
+        with pytest.raises(WorkloadError):
+            ArrivalModel(kind="diurnal", amplitude=1.0)
+
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_arrivals_non_decreasing(self, kind):
+        model = ArrivalModel(kind=kind, mean_interarrival_us=100.0)
+        times = model.arrivals(2_000, random.Random(7))
+        assert len(times) == 2_000
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_long_run_rate_matches_mean(self, kind):
+        """Every kind preserves the configured long-run offered rate."""
+        model = ArrivalModel(kind=kind, mean_interarrival_us=100.0)
+        times = model.arrivals(20_000, random.Random(11))
+        mean = times[-1] / len(times)
+        assert mean == pytest.approx(100.0, rel=0.15)
+
+    @pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+    def test_deterministic_for_seeded_rng(self, kind):
+        model = ArrivalModel(kind=kind)
+        assert (model.arrivals(500, random.Random(3))
+                == model.arrivals(500, random.Random(3)))
+
+    def test_bursty_clusters_more_than_poisson(self):
+        rng = random.Random(5)
+        bursty = ArrivalModel(kind="bursty", mean_interarrival_us=100.0,
+                              burst_factor=20.0)
+        times = bursty.arrivals(5_000, rng)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        short = sum(1 for g in gaps if g < 100.0 / 4)
+        # a burst-dominated stream has far more sub-quarter-mean gaps
+        # than the memoryless process (which has ~22%)
+        assert short / len(gaps) > 0.5
+
+
+class TestTrafficSpec:
+    def test_rejects_duplicate_tenant_names(self):
+        tenant = TenantSpec(name="a", workload="financial1",
+                            num_requests=10, pages=64)
+        with pytest.raises(WorkloadError, match="unique"):
+            TrafficSpec(name="dup", tenants=(tenant, tenant))
+
+    def test_rejects_unknown_workload_and_bad_weight(self):
+        with pytest.raises(WorkloadError, match="workload"):
+            TenantSpec(name="a", workload="nope", num_requests=1,
+                       pages=64)
+        with pytest.raises(WorkloadError, match="weight"):
+            TenantSpec(name="a", workload="financial1", num_requests=1,
+                       pages=64, weight=0.0)
+
+    def test_namespaces_are_disjoint_slices_in_order(self):
+        spec = tiny_mix(tenants=3, pages=128)
+        spaces = spec.namespaces()
+        assert spaces["financial1-0"] == (0, 128)
+        assert spaces["financial1-1"] == (128, 128)
+        assert spaces["financial1-2"] == (256, 128)
+        assert spec.logical_pages == 384
+
+    def test_scaled_divides_interarrivals(self):
+        spec = tiny_mix(interarrival=1_000.0)
+        doubled = spec.scaled(2.0)
+        assert all(t.arrival.mean_interarrival_us == 500.0
+                   for t in doubled.tenants)
+        with pytest.raises(WorkloadError):
+            spec.scaled(0.0)
+
+    def test_canonical_round_trip(self):
+        spec = tiny_mix(tenants=2, kind="bursty",
+                        weights=(3.0, 1.0))
+        rebuilt = TrafficSpec.from_payload(
+            json.loads(json.dumps(spec.canonical())))
+        assert rebuilt == spec
+
+
+class TestCompose:
+    def test_deterministic(self):
+        spec = tiny_mix()
+        assert compose(spec).requests == compose(spec).requests
+
+    def test_merged_schedule_sorted_and_bounded(self):
+        spec = tiny_mix(tenants=3, pages=256, requests=200)
+        trace = compose(spec)
+        assert len(trace) == 600
+        assert trace.logical_pages == spec.logical_pages
+        arrivals = [r.arrival for r in trace.requests]
+        assert all(a <= b for a, b in zip(arrivals, arrivals[1:]))
+        spaces = spec.namespaces()
+        for request in trace.requests:
+            base, pages = spaces[request.tenant]
+            assert base <= request.lpn
+            assert request.end_lpn <= base + pages
+
+    def test_every_tenant_contributes_its_budget(self):
+        spec = tiny_mix(tenants=2, requests=150)
+        trace = compose(spec)
+        counts = {}
+        for request in trace.requests:
+            counts[request.tenant] = counts.get(request.tenant, 0) + 1
+        assert counts == {"financial1-0": 150, "financial1-1": 150}
+
+    def test_single_tenant_keeps_preset_requests(self):
+        """N=1 composition only relabels arrivals/tenant, not the ops."""
+        from repro.workloads import make_preset
+        spec = tiny_mix(tenants=1, requests=300, pages=1024)
+        trace = compose(spec)
+        preset = make_preset("financial1", logical_pages=1024,
+                             num_requests=300, seed=spec.tenants[0].seed)
+        assert [(r.op, r.lpn, r.npages) for r in trace.requests] \
+            == [(r.op, r.lpn, r.npages) for r in preset.requests]
+        assert all(r.tenant == "financial1-0" for r in trace.requests)
+
+
+class TestDeviceTenancy:
+    def _run(self, trace, qos="fifo", weights=None, fast=False,
+             channels=1, keep_samples=False):
+        ftl = make_ftl("dftl", sim_config(trace))
+        return simulate(ftl, trace, fast=fast, channels=channels,
+                        qos=qos, tenant_weights=weights,
+                        keep_response_samples=keep_samples)
+
+    def test_per_tenant_stats_partition_the_aggregate(self):
+        trace = compose(tiny_mix(tenants=3, requests=150))
+        result = self._run(trace)
+        assert set(result.tenants) == {"financial1-0", "financial1-1",
+                                       "financial1-2"}
+        assert sum(s.count for s in result.tenants.values()) \
+            == result.response.count
+
+    def test_merged_tenant_stats_reproduce_aggregate(self):
+        """ResponseStats.merge over tenants == one whole-trace stream."""
+        from repro.metrics import ResponseStats
+        trace = compose(tiny_mix(tenants=3, requests=150))
+        result = self._run(trace, keep_samples=True)
+        merged = ResponseStats(keep_samples=True)
+        for name in sorted(result.tenants):
+            merged.merge(result.tenants[name])
+        aggregate = result.response
+        assert merged.count == aggregate.count
+        assert merged.max == aggregate.max
+        assert merged.mean == pytest.approx(aggregate.mean, rel=1e-12)
+        assert merged.variance == pytest.approx(aggregate.variance,
+                                                rel=1e-9)
+        assert merged.total_queue_delay == pytest.approx(
+            aggregate.total_queue_delay, rel=1e-12)
+        assert sorted(merged.samples) == sorted(aggregate.samples)
+        assert merged.percentile(99.0) == aggregate.percentile(99.0)
+
+    def test_single_tenant_fifo_matches_unattributed_trace(self):
+        """Tenant labels must not perturb the paper's timing at all."""
+        trace = compose(tiny_mix(tenants=1, requests=400))
+        stripped = Trace(
+            requests=[dataclasses.replace(r, tenant=None)
+                      for r in trace.requests],
+            logical_pages=trace.logical_pages, name=trace.name)
+        labelled = self._run(trace)
+        plain = self._run(stripped)
+        assert labelled.response == plain.response
+        assert labelled.makespan == plain.makespan
+        assert plain.tenants == {}
+        assert labelled.tenants["financial1-0"].count \
+            == labelled.response.count
+
+    def test_lone_tenant_fair_equals_fifo_bit_for_bit(self):
+        """share=1 division must not change a single float."""
+        trace = compose(tiny_mix(tenants=1, requests=400))
+        fifo = self._run(trace, qos="fifo")
+        fair = self._run(trace, qos="fair")
+        assert fair.qos == "fair" and fifo.qos == "fifo"
+        assert fair.response == fifo.response
+        assert fair.makespan == fifo.makespan
+        assert fair.tenants == fifo.tenants
+
+    def test_fair_isolates_the_heavier_weight(self):
+        trace = compose(tiny_mix(tenants=2, requests=400,
+                                 interarrival=120.0,
+                                 weights=(8.0, 1.0)))
+        result = self._run(trace, qos="fair",
+                           weights={"financial1-0": 8.0,
+                                    "financial1-1": 1.0})
+        heavy = result.tenants["financial1-0"]
+        light = result.tenants["financial1-1"]
+        assert heavy.mean_queue_delay < light.mean_queue_delay
+
+    def test_fair_rejects_background_gc(self, tiny_config):
+        with pytest.raises(ConfigError, match="background_gc"):
+            SSDevice(make_ftl("dftl", tiny_config), qos="fair",
+                     background_gc=True)
+
+    def test_unknown_qos_rejected(self, tiny_config):
+        with pytest.raises(ConfigError, match="qos"):
+            SSDevice(make_ftl("dftl", tiny_config), qos="wfq")
+
+    def test_non_positive_weight_rejected(self, tiny_config):
+        with pytest.raises(ConfigError, match="weight"):
+            SSDevice(make_ftl("dftl", tiny_config), qos="fair",
+                     tenant_weights={"a": 0.0})
+
+    def test_out_of_order_arrivals_rejected(self, tiny_config):
+        trace = Trace(requests=[
+            Request(arrival=100.0, op=Op.READ, lpn=0, npages=1),
+            Request(arrival=50.0, op=Op.READ, lpn=1, npages=1),
+        ], logical_pages=512)
+        device = SSDevice(make_ftl("dftl", tiny_config))
+        with pytest.raises(WorkloadError, match="non-decreasing"):
+            device.run(trace)
+        with pytest.raises(WorkloadError, match="non-decreasing"):
+            run_fast(SSDevice(make_ftl("dftl", tiny_config)), trace)
+
+    def test_channel_parallel_service_stripes_from_cursor_zero(
+            self, tiny_config):
+        device = ChannelSSDevice(make_ftl("dftl", tiny_config),
+                                 channels=2)
+        ssd = device.ftl.ssd
+        # r,r,r,w round-robined over 2 channels: ch0 = 2 reads,
+        # ch1 = 1 read + 1 write -> the makespan is ch1
+        expected = max(2 * ssd.read_us, ssd.read_us + ssd.write_us)
+        assert device._parallel_service_us(3, 1, 0, 0.0) == expected
+        single = ChannelSSDevice(make_ftl("dftl", tiny_config),
+                                 channels=1)
+        assert single._parallel_service_us(3, 1, 0, 123.0) == 123.0
+
+
+class TestFastpathTrafficParity:
+    def _parity(self, qos, channels=1, weights=None, tenants=3):
+        spec = tiny_mix(tenants=tenants, requests=200,
+                        interarrival=250.0, weights=weights)
+        trace = compose(spec)
+        results = []
+        for fast in (False, True):
+            ftl = make_ftl("dftl", sim_config(trace))
+            results.append(simulate(
+                ftl, trace, fast=fast, channels=channels, qos=qos,
+                tenant_weights=(spec.weights() if qos == "fair"
+                                else None),
+                keep_response_samples=True))
+        reference, fast_result = results
+        assert reference.tenants and fast_result.tenants
+        assert digest(reference) == digest(fast_result)
+
+    def test_fifo_multi_tenant_parity(self):
+        self._parity("fifo")
+
+    def test_fair_multi_tenant_parity(self):
+        self._parity("fair", weights=(4.0, 2.0, 1.0))
+
+    def test_fair_multi_channel_parity(self):
+        self._parity("fair", channels=2, weights=(4.0, 2.0, 1.0))
+
+    def test_fifo_multi_channel_parity(self):
+        self._parity("fifo", channels=4)
+
+
+class TestRunnerTrafficSpecs:
+    LEGACY_KEYS = {"workload", "ftl", "scale", "cache_fraction",
+                   "tpftl", "seed", "sample_interval", "channels"}
+
+    def base(self, **overrides) -> RunSpec:
+        params = dict(workload="financial1", ftl="dftl", scale=TINY)
+        params.update(overrides)
+        return RunSpec(**params)
+
+    def test_default_spec_canonical_form_unchanged(self):
+        """Pre-existing digests (cache addresses) must not move."""
+        assert set(self.base().canonical()) == self.LEGACY_KEYS
+
+    def test_new_fields_change_the_digest(self):
+        base = self.base()
+        variants = [
+            self.base(traffic=tiny_mix()),
+            self.base(qos="fair"),
+            self.base(keep_response_samples=True),
+        ]
+        digests = {base.digest} | {v.digest for v in variants}
+        assert len(digests) == len(variants) + 1
+
+    def test_label_marks_mix_and_policy(self):
+        spec = self.base(traffic=tiny_mix(tenants=3), qos="fair")
+        assert "mix=3t" in spec.label()
+        assert "fair" in spec.label()
+        assert "mix=" not in self.base().label()
+
+    def test_execute_traffic_spec(self):
+        spec = self.base(traffic=tiny_mix(tenants=2, requests=300,
+                                          interarrival=400.0),
+                         qos="fair", keep_response_samples=True)
+        result = execute_spec(spec)
+        clear_matrix_cache()
+        # 600 composed requests minus the tiny scale's 200 warmup
+        assert result.requests == 400
+        assert result.qos == "fair"
+        assert set(result.tenants) == {"financial1-0", "financial1-1"}
+        assert result.response.percentile(99.0) is not None
+
+    def test_codec_round_trips_tenants_and_qos(self):
+        spec = self.base(traffic=tiny_mix(tenants=2, requests=300),
+                         qos="fair", keep_response_samples=True)
+        fresh = execute_spec(spec)
+        clear_matrix_cache()
+        decoded = decode_result(
+            json.loads(json.dumps(encode_result(fresh))))
+        assert decoded == fresh
+        assert decoded.tenants == fresh.tenants
+        assert decoded.qos == "fair"
+        assert decoded.summary() == fresh.summary()
+
+
+class TestTrafficExperiment:
+    @pytest.fixture(autouse=True)
+    def _isolated_runner(self, tmp_path):
+        from repro.experiments.runner import (configure_runner,
+                                              reset_runner)
+        configure_runner(jobs=1, cache_dir=tmp_path / "cache")
+        yield
+        reset_runner()
+        clear_matrix_cache()
+
+    def test_sweep_reports_per_tenant_tails(self):
+        from repro.experiments.traffic import (LOAD_SWEEP, QOS_SWEEP,
+                                               run)
+        result = run(TINY)
+        data = result.data
+        assert data["bench"] == "traffic"
+        assert max(data["load_sweep"]) > 1.0  # crosses into overload
+        assert len(data["cells"]) == len(LOAD_SWEEP) * len(QOS_SWEEP)
+        for cell in data["cells"]:
+            assert cell["qos"] in QOS_SWEEP
+            assert cell["aggregate"]["p99_us"] > 0.0
+            assert set(cell["tenants"]) == {"oltp", "read", "batch"}
+            for stats in cell["tenants"].values():
+                assert stats["p99_us"] is not None
+                assert stats["p999_us"] >= stats["p99_us"] * 0.999
+
+    def test_fair_share_protects_heavy_tenant_in_overload(self):
+        from repro.experiments.traffic import LOAD_SWEEP, run
+        data = run(TINY).data
+        top = max(LOAD_SWEEP)
+        fair = next(c for c in data["cells"]
+                    if c["load"] == top and c["qos"] == "fair")
+        # weight-4 oltp must see less queueing than weight-1 batch
+        assert (fair["tenants"]["oltp"]["mean_queue_delay_us"]
+                < fair["tenants"]["batch"]["mean_queue_delay_us"])
+
+
+class TestToolsTenantFlags:
+    def test_cli_composes_tenants_and_reports_them(self, tmp_path,
+                                                   capsys):
+        from repro.tools import main
+        out = tmp_path / "summary.json"
+        code = main(["--workload", "financial1", "--tenants", "2",
+                     "--qos", "fair", "--requests", "600",
+                     "--pages", "2048", "--json", str(out)])
+        assert code == 0
+        summary = json.loads(out.read_text(encoding="utf-8"))
+        assert summary["qos"] == "fair"
+        assert set(summary["tenants"]) == {"financial1-0",
+                                           "financial1-1"}
+
+    def test_cli_rejects_tenants_with_trace_file(self):
+        from repro.tools import main
+        with pytest.raises(SystemExit):
+            main(["--trace", "whatever.spc", "--tenants", "2"])
