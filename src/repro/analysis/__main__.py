@@ -3,23 +3,26 @@
 Subcommands:
 
 * ``lint [paths...]`` — run every analysis pass (the single-file TP0xx
-  AST rules, the interprocedural TP1xx flow rules and the TP2xx
-  domain/unit pass) over Python sources (default target: ``src``).
-  Exits non-zero when findings outside the committed baseline exist;
-  ``--write-baseline`` regenerates the baseline from the current
-  findings instead.  ``--format text|json|sarif`` picks the report
-  format (SARIF 2.1.0 feeds GitHub code scanning); ``--fail-stale``
-  turns stale baseline entries into a failure; ``--disable``/
-  ``--exclude`` select rules and prune subtrees per invocation (tests
-  legitimately use ``assert``, so CI lints them with
-  ``--disable TP003``).
-* ``mutants`` — self-validate the TP2xx domain pass: apply the seeded
-  mutants from :mod:`repro.analysis.mutants` to a throwaway copy of
-  ``src`` and fail unless every mutant is flagged while the pristine
-  copy stays clean.
+  AST rules, the interprocedural TP1xx flow rules, the TP2xx
+  domain/unit pass and the TP3xx typestate/protocol pass) over Python
+  sources (default target: ``src``).  The tree is parsed exactly once
+  into a shared project that all passes reuse; ``--stats`` prints the
+  per-pass wall-clock split.  Exits non-zero when findings outside the
+  committed baseline exist; ``--write-baseline`` regenerates the
+  baseline from the current findings instead.  ``--format
+  text|json|sarif`` picks the report format (SARIF 2.1.0 feeds GitHub
+  code scanning); ``--fail-stale`` turns stale baseline entries into a
+  failure; ``--disable``/``--exclude`` select rules and prune subtrees
+  per invocation (tests legitimately use ``assert``, so CI lints them
+  with ``--disable TP003``).
+* ``mutants`` — self-validate the TP2xx domain pass and the TP3xx
+  protocol pass: apply the seeded mutants from
+  :mod:`repro.analysis.mutants` to a throwaway copy of ``src`` and
+  fail unless every mutant is flagged while the pristine copy stays
+  clean.
 * ``rules`` — print every rule family (TP0xx lint, TP1xx flow, TP2xx
-  domain, SAN sanitizer), grouped and sorted, with one-line
-  descriptions.
+  domain, TP3xx typestate, SAN sanitizer), grouped and sorted, with
+  one-line descriptions.
 """
 
 from __future__ import annotations
@@ -28,12 +31,14 @@ import argparse
 import json
 import pathlib
 import sys
-from typing import List, Optional, Sequence, Set, Tuple
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .checkers import SAN_RULES
-from .flow import DOMAIN_RULES, FLOW_RULES, analyze_paths, to_sarif
+from .flow import (DOMAIN_RULES, FLOW_RULES, PROTOCOL_RULES, Project,
+                   analyze_project, to_sarif)
 from .flow.sarif import default_rule_table
-from .lint import (Finding, RULES, lint_paths, load_baseline,
+from .lint import (Finding, RULES, lint_parsed, load_baseline,
                    partition_findings, write_baseline)
 from .mutants import MUTANTS, MutantApplyError, run_mutants
 
@@ -52,7 +57,8 @@ def _build_parser() -> argparse.ArgumentParser:
                     "listing for the FTLSan runtime sanitizer.")
     sub = parser.add_subparsers(dest="command", required=True)
     lint = sub.add_parser(
-        "lint", help="run both analysis passes over Python sources")
+        "lint", help="run every analysis pass over Python sources "
+                     "(one shared parse)")
     lint.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src)")
@@ -86,9 +92,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--exclude", action="append", default=[], metavar="PATH",
         help="path prefixes to prune from the linted trees "
              "(repeatable); e.g. --exclude tests/fixtures")
+    lint.add_argument(
+        "--stats", action="store_true",
+        help="print the per-pass wall-clock split (parse once, then "
+             "lint/flow/domains/protocols over the shared project)")
     mutants = sub.add_parser(
-        "mutants", help="self-validate the TP2xx domain pass against "
-                        "the seeded mutant corpus")
+        "mutants", help="self-validate the TP2xx domain and TP3xx "
+                        "protocol passes against the seeded mutant "
+                        "corpus")
     mutants.add_argument(
         "--src", default="src", metavar="DIR",
         help="source tree to copy and mutate (default: src)")
@@ -108,7 +119,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the mutant corpus without running the analysis")
     sub.add_parser(
         "rules", help="list every rule family (TP0xx lint, TP1xx "
-                      "flow, TP2xx domain, SAN sanitizer)")
+                      "flow, TP2xx domain, TP3xx typestate, SAN "
+                      "sanitizer)")
     return parser
 
 
@@ -119,14 +131,29 @@ def _disabled_codes(raw: Sequence[str]) -> Set[str]:
     return codes
 
 
-def _collect_findings(args: argparse.Namespace) -> List[Finding]:
-    """Both passes over the requested trees, rule-filtered and sorted."""
+def _collect_findings(args: argparse.Namespace,
+                      ) -> Tuple[List[Finding], Dict[str, float]]:
+    """Every pass over the requested trees, rule-filtered and sorted.
+
+    The trees are read and parsed exactly once into a flow project;
+    the TP0xx lint visits the same trees via :func:`lint_parsed` and
+    the TP1xx/TP2xx/TP3xx passes share the project and its call graph.
+    Returns the findings plus the per-pass wall-clock timings.
+    """
     disabled = _disabled_codes(args.disable)
-    findings = lint_paths(args.paths, exclude=args.exclude)
-    findings += analyze_paths(args.paths, exclude=args.exclude)
+    timings: Dict[str, float] = {}
+    started = time.perf_counter()  # tp: allow=TP002 - host-side stats
+    project = Project.from_paths(args.paths, exclude=args.exclude)
+    timings["parse"] = time.perf_counter() - started  # tp: allow=TP002 - host-side stats
+    started = time.perf_counter()  # tp: allow=TP002 - host-side stats
+    findings = lint_parsed(
+        (module.path, module.source_lines, module.tree)
+        for module in project.modules.values())
+    timings["lint"] = time.perf_counter() - started  # tp: allow=TP002 - host-side stats
+    findings += analyze_project(project, timings=timings)
     findings = [f for f in findings if f.rule not in disabled]
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return findings
+    return findings, timings
 
 
 def _emit_document(document: dict, output: Optional[str]) -> None:
@@ -165,8 +192,19 @@ def _json_document(new: List[Finding], grandfathered: List[Finding],
     }
 
 
+def _format_stats(timings: Dict[str, float]) -> str:
+    order = ("parse", "lint", "flow", "domains", "protocols")
+    parts = [f"{label} {timings[label]*1000.0:.0f}ms"
+             for label in order if label in timings]
+    total = sum(timings.values())
+    return (f"stats: {' | '.join(parts)} "
+            f"(total {total*1000.0:.0f}ms, one shared parse)")
+
+
 def _run_lint(args: argparse.Namespace) -> int:
-    findings = _collect_findings(args)
+    findings, timings = _collect_findings(args)
+    if args.stats:
+        print(_format_stats(timings), file=sys.stderr)
     baseline_path = pathlib.Path(args.baseline)
     if args.write_baseline:
         write_baseline(baseline_path, findings)
@@ -183,7 +221,8 @@ def _run_lint(args: argparse.Namespace) -> int:
         _emit_document(
             to_sarif(new, grandfathered,
                      default_rule_table({**FLOW_RULES,
-                                         **DOMAIN_RULES})),
+                                         **DOMAIN_RULES,
+                                         **PROTOCOL_RULES})),
             args.output)
     else:
         for finding in new:
@@ -249,6 +288,9 @@ _RULE_FAMILIES = (
      FLOW_RULES),
     ("TP2xx domain/unit rules (same lint subcommand; self-validated "
      "by the mutants subcommand):", DOMAIN_RULES),
+    ("TP3xx typestate/protocol rules (same lint subcommand; CFGs with "
+     "exception edges, self-validated by the mutants subcommand):",
+     PROTOCOL_RULES),
     ("SANxxx sanitizer rules (config.sanitizer / FTLSan):", SAN_RULES),
 )
 

@@ -24,6 +24,7 @@ Suppression uses the same pragma as the lint pass
 from __future__ import annotations
 
 import ast
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..lint import _FLASH_OPS, Finding, _dotted
@@ -31,10 +32,12 @@ from .callgraph import FunctionInfo, ModuleInfo, Project
 from .domains import DOMAIN_RULES, check_domains
 from .engine import FlowEngine
 from .state import AttrEvent, _is_set_expr
+from .typestate import PROTOCOL_RULES, check_protocols
 
 __all__ = [
     "DOMAIN_RULES",
     "FLOW_RULES",
+    "PROTOCOL_RULES",
     "RESET_METHODS",
     "RUN_ROOTS",
     "analyze_paths",
@@ -406,14 +409,35 @@ _RULE_IMPLS: Dict[str, _Rule] = {
 }
 
 
-def analyze_project(project: Project) -> List[Finding]:
-    """Run every flow rule (TP1xx + the TP2xx domain pass) over an
-    already-parsed project."""
+def analyze_project(project: Project,
+                    timings: Optional[Dict[str, float]] = None,
+                    ) -> List[Finding]:
+    """Run every flow rule (TP1xx + the TP2xx domain pass + the TP3xx
+    typestate pass) over an already-parsed project.
+
+    ``timings`` (when given) collects host-side per-pass wall-clock
+    seconds under the keys ``flow``/``domains``/``protocols`` for the
+    CLI's ``--stats`` line.
+    """
     engine = FlowEngine(project)
     findings: List[Finding] = []
-    for code in sorted(_RULE_IMPLS):
-        findings.extend(_RULE_IMPLS[code](project, engine))
-    findings.extend(check_domains(project, engine))
+
+    def timed(label: str, pass_fn: Callable[[], List[Finding]]) -> None:
+        started = time.perf_counter()  # tp: allow=TP002 - host-side stats
+        findings.extend(pass_fn())
+        if timings is not None:
+            elapsed = time.perf_counter() - started  # tp: allow=TP002 - host-side stats
+            timings[label] = timings.get(label, 0.0) + elapsed
+
+    def run_flow_rules() -> List[Finding]:
+        out: List[Finding] = []
+        for code in sorted(_RULE_IMPLS):
+            out.extend(_RULE_IMPLS[code](project, engine))
+        return out
+
+    timed("flow", run_flow_rules)
+    timed("domains", lambda: check_domains(project, engine))
+    timed("protocols", lambda: check_protocols(project, engine))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 

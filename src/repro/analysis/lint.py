@@ -371,22 +371,37 @@ def lint_source(source: str, path: str = "<string>") -> List[Finding]:
     return visitor.findings + _resolve_slots([visitor])
 
 
-def lint_paths(paths: Sequence[str],
-               exclude: Sequence[str] = ()) -> List[Finding]:
-    """Lint every Python file under ``paths``; returns all findings."""
+def lint_parsed(files: Iterable[Tuple[str, Sequence[str], ast.Module]],
+                ) -> List[Finding]:
+    """Lint already-parsed modules given as ``(path, lines, tree)``.
+
+    This is the parse-once entry: the CLI parses every file exactly one
+    time into the flow pass's project and feeds the same trees here,
+    instead of re-reading and re-parsing the whole tree per pass.
+    """
     visitors: List[_FileVisitor] = []
     findings: List[Finding] = []
-    for file in iter_python_files(paths, exclude=exclude):
-        rel = normalize_path(file)
-        source = file.read_text(encoding="utf-8")
-        in_flash = "flash" in file.parts
-        visitor = _FileVisitor(rel, source.splitlines(), in_flash)
-        visitor.visit(ast.parse(source, filename=rel))
+    for path, source_lines, tree in files:
+        in_flash = "flash" in pathlib.PurePath(path).parts
+        visitor = _FileVisitor(path, list(source_lines), in_flash)
+        visitor.visit(tree)
         visitors.append(visitor)
         findings.extend(visitor.findings)
     findings.extend(_resolve_slots(visitors))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
+
+
+def lint_paths(paths: Sequence[str],
+               exclude: Sequence[str] = ()) -> List[Finding]:
+    """Lint every Python file under ``paths``; returns all findings."""
+    parsed: List[Tuple[str, Sequence[str], ast.Module]] = []
+    for file in iter_python_files(paths, exclude=exclude):
+        rel = normalize_path(file)
+        source = file.read_text(encoding="utf-8")
+        parsed.append((rel, source.splitlines(),
+                       ast.parse(source, filename=rel)))
+    return lint_parsed(parsed)
 
 
 # ----------------------------------------------------------------------

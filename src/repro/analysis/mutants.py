@@ -1,13 +1,21 @@
-"""Mutation self-validation of the TP2xx domain/unit pass.
+"""Mutation self-validation of the TP2xx domain and TP3xx protocol passes.
 
 A static analysis that never fires is indistinguishable from one that
-works.  This harness keeps the domain pass honest from both sides: it
+works.  This harness keeps the flow passes honest from both sides: it
 applies a curated list of **seeded mutants** — each the minimal,
-realistic version of a bug class the pass exists for (swapped
+realistic version of a bug class a pass exists for.  The **domain
+mutants** (``M01``–``M10``) cover the TP2xx value bugs: swapped
 ``lpn``/``ppn`` arguments, an ``lpn``-indexed structure indexed by
 VPN, a dropped ``* pages_per_block`` conversion, milliseconds handed
-to a microsecond parameter, a byte budget stored as an entry count) —
-to a throwaway copy of ``src/`` and asserts that
+to a microsecond parameter, a byte budget stored as an entry count.
+The **protocol mutants** (``P01``–``P10``) cover the TP3xx temporal
+bugs: a deleted ``finally`` around a fast-mode window, a dropped or
+swapped ``enter_fast_mode``/``exit_fast_mode``, ``fold_stats`` after
+the window closed, the supervisor's spawn-failure cleanup removed, a
+journal ``with`` block rewritten as manual ``open``/``close``, an
+early ``return`` before the ``close()``, and the per-run device reset
+dropped ahead of the serve loop.  Each mutant is applied to a
+throwaway copy of ``src/`` and the harness asserts that
 
 * the **pristine copy is clean**: zero findings beyond the committed
   baseline (the analysis does not cry wolf at HEAD), and
@@ -39,11 +47,13 @@ from .flow import analyze_paths
 from .lint import Finding, lint_paths, load_baseline
 
 __all__ = [
+    "DOMAIN_MUTANTS",
     "MUTANTS",
     "Mutant",
     "MutantApplyError",
     "MutantResult",
     "MutationReport",
+    "PROTOCOL_MUTANTS",
     "run_mutants",
 ]
 
@@ -59,15 +69,15 @@ class Mutant:
     mid: str
     #: file to mutate, relative to the copied ``src`` root
     path: str
-    #: rule expected to kill the mutant (TP201..TP204)
+    #: rule expected to kill the mutant (TP201..TP204, TP301..TP305)
     rule: str
     description: str
     before: str
     after: str
 
 
-#: the seeded mutants: every one must be killed by the domain pass
-MUTANTS: Tuple[Mutant, ...] = (
+#: the seeded domain/unit mutants: every one must be killed by TP2xx
+DOMAIN_MUTANTS: Tuple[Mutant, ...] = (
     Mutant(
         mid="M01", path="repro/ftl/base.py", rule="TP201",
         description="read-modify-write reads the LPN instead of the "
@@ -144,6 +154,107 @@ MUTANTS: Tuple[Mutant, ...] = (
         before="        base_lpn = lbn * ppb",
         after="        base_lpn = lbn"),
 )
+
+
+#: the seeded protocol mutants: every one must be killed by TP3xx
+PROTOCOL_MUTANTS: Tuple[Mutant, ...] = (
+    Mutant(
+        mid="P01", path="repro/ssd/fastpath.py", rule="TP301",
+        description="deleted finally around the fast-mode run window: "
+                    "exit_fast_mode only runs on one exception flavour",
+        before="    finally:\n"
+               "        flash.exit_fast_mode()",
+        after="    except MemoryError:\n"
+              "        flash.exit_fast_mode()\n"
+              "        raise"),
+    Mutant(
+        mid="P02", path="repro/ftl/base.py", rule="TP301",
+        description="deleted finally around the prefill fast-mode "
+                    "window: a raise mid-fill strands fast mode",
+        before="            finally:\n"
+               "                flash.exit_fast_mode()",
+        after="            except MemoryError:\n"
+              "                flash.exit_fast_mode()\n"
+              "                raise"),
+    Mutant(
+        mid="P03", path="repro/ssd/fastpath.py", rule="TP302",
+        description="dropped enter_fast_mode: the finally releases a "
+                    "window that was never opened",
+        before="    flash.enter_fast_mode()\n"
+               "    try:",
+        after="    try:"),
+    Mutant(
+        mid="P04", path="repro/ftl/base.py", rule="TP302",
+        description="swapped acquire for release: prefill exits fast "
+                    "mode where it meant to enter it",
+        before="            flash.enter_fast_mode()\n"
+               "            try:",
+        after="            flash.exit_fast_mode()\n"
+              "            try:"),
+    Mutant(
+        mid="P05", path="repro/experiments/supervisor.py", rule="TP303",
+        description="dropped spawn-failure cleanup: a partially-spawned "
+                    "worker's pipe ends and process leak on the retry "
+                    "path",
+        before="                self._discard_spawn(parent_conn, "
+               "child_conn, process)\n"
+               "                self._spawn_failures += 1",
+        after="                self._spawn_failures += 1"),
+    Mutant(
+        mid="P06", path="repro/experiments/supervisor.py", rule="TP305",
+        description="journal append rewritten as manual open/close "
+                    "outside with/try-finally",
+        before="            with open(self.path, \"a\", "
+               "encoding=\"utf-8\") as handle:\n"
+               "                handle.write(json.dumps(payload) + "
+               "\"\\n\")",
+        after="            handle = open(self.path, \"a\", "
+              "encoding=\"utf-8\")\n"
+              "            handle.write(json.dumps(payload) + "
+              "\"\\n\")\n"
+              "            handle.close()"),
+    Mutant(
+        mid="P07", path="repro/ssd/fastpath.py", rule="TP304",
+        description="dropped per-run reset before the fast-path serve "
+                    "loop: previous replay state leaks into the run",
+        before="    device._validate_trace(trace)\n"
+               "    device._reset_state()",
+        after="    device._validate_trace(trace)"),
+    Mutant(
+        mid="P08", path="repro/ssd/device.py", rule="TP304",
+        description="dropped per-run reset in DeviceModel.run: "
+                    "serve_request reachable without the reset",
+        before="        self._validate_trace(trace)\n"
+               "        self._reset_state()",
+        after="        self._validate_trace(trace)"),
+    Mutant(
+        mid="P09", path="repro/ssd/fastpath.py", rule="TP302",
+        description="warmup fold moved outside the fast-mode window: "
+                    "exit before fold_stats loses the warmup counters",
+        before="            flash.fold_stats()\n"
+               "            flash.stats.reset()",
+        after="            flash.exit_fast_mode()\n"
+              "            flash.fold_stats()\n"
+              "            flash.stats.reset()"),
+    Mutant(
+        mid="P10", path="repro/experiments/supervisor.py", rule="TP301",
+        description="early return before the journal handle is closed",
+        before="            with open(self.path, \"a\", "
+               "encoding=\"utf-8\") as handle:\n"
+               "                handle.write(json.dumps(payload) + "
+               "\"\\n\")",
+        after="            handle = open(self.path, \"a\", "
+              "encoding=\"utf-8\")\n"
+              "            if not payload:\n"
+              "                return\n"
+              "            handle.write(json.dumps(payload) + "
+              "\"\\n\")\n"
+              "            handle.close()"),
+)
+
+
+#: the full corpus the CLI and CI run: domain + protocol mutants
+MUTANTS: Tuple[Mutant, ...] = DOMAIN_MUTANTS + PROTOCOL_MUTANTS
 
 
 @dataclass

@@ -536,6 +536,7 @@ class Supervisor:
                 continue
             task = state.task
             attempt = state.attempts + 1
+            parent_conn = child_conn = process = None
             try:
                 parent_conn, child_conn = self._ctx.Pipe(duplex=False)
                 process = self._ctx.Process(
@@ -546,6 +547,9 @@ class Supervisor:
                 process.start()
                 child_conn.close()
             except (OSError, ValueError) as exc:
+                # a partially-spawned worker must not leak its pipe ends
+                # or a started-but-untracked process
+                self._discard_spawn(parent_conn, child_conn, process)
                 self._spawn_failures += 1
                 queue.appendleft(state)
                 if self._spawn_failures >= SPAWN_FAILURE_THRESHOLD:
@@ -570,6 +574,30 @@ class Supervisor:
                                          started=started,
                                          deadline=deadline)
         return None
+
+    @staticmethod
+    def _discard_spawn(parent_conn: Optional[Any],
+                       child_conn: Optional[Any],
+                       process: Optional[Any]) -> None:
+        """Release whatever a failed spawn attempt managed to acquire.
+
+        Any of the three may be ``None`` (the spawn raised before it was
+        created); a started process is terminated and reaped so the
+        retry path never strands a live worker.
+        """
+        if parent_conn is not None:
+            try:
+                parent_conn.close()
+            except OSError:
+                pass
+        if child_conn is not None:
+            try:
+                child_conn.close()
+            except OSError:
+                pass
+        if process is not None and process.is_alive():
+            process.terminate()
+            process.join()
 
     def _run_inline(self, state: _TaskState,
                     finish: Callable[[_TaskState, Any], None],

@@ -1,0 +1,35 @@
+"""Fixture: the PR-6 supervisor worker-lifecycle leak, reproduced.
+
+``_launch`` mirrors the supervised runner's spawn path: a one-way pipe
+is created, the child end rides into the worker process, the worker is
+started.  On the happy path both the process and the parent end are
+handed off to the running-table record (ownership transfer — not a
+leak).  But when ``start()`` raises (fork failure, fd exhaustion),
+this version just requeues and returns: the parent pipe end is never
+closed and a possibly-started worker is never terminated — exactly the
+shape the real ``supervisor.py`` fixes with ``_discard_spawn`` in the
+``except`` arm, which is why TP303 must flag this fixture while the
+fixed ``src/repro/experiments/supervisor.py`` stays clean.
+"""
+
+
+class LeakySupervisor:
+    def __init__(self, ctx):
+        self._ctx = ctx
+        self._running = {}
+        self._queue = []
+
+    def _launch(self, task):
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        try:
+            process = self._ctx.Process(
+                target=task.fn, args=(child_conn, task.key), daemon=True)
+            process.start()
+            child_conn.close()
+        except OSError:
+            # BUG: parent_conn is never closed and a started-but-
+            # untracked process is never terminated on this path
+            self._queue.append(task)
+            return None
+        self._running[task.key] = (process, parent_conn)
+        return task.key

@@ -1,0 +1,20 @@
+"""Fixture: TP301 — fast-mode window without a ``finally``.
+
+``replay`` enters the flash fast mode and exits it at the end of the
+happy path, but ``serve`` may raise mid-loop; on that exception edge
+the function unwinds with fast mode still held, silently corrupting
+every deferred counter.  The typestate pass must flag exactly the
+acquire site — the PR-8 bug class ``try/finally`` exists to prevent.
+"""
+
+
+class Replayer:
+    def replay(self, flash, requests):
+        flash.enter_fast_mode()
+        for request in requests:
+            self.serve(request)
+        flash.exit_fast_mode()
+
+    def serve(self, request):
+        if request is None:
+            raise ValueError("empty request slot")

@@ -1,0 +1,13 @@
+"""Fixture: TP302 — ``fold_stats`` after the fast-mode window closed.
+
+The fold only makes sense while fast mode is held (that is when the
+per-op counters are deferred); folding after ``exit_fast_mode`` reads
+a window that no longer exists.  The typestate pass must flag exactly
+the ``fold_stats`` call.
+"""
+
+
+def warmup_fold(flash):
+    flash.enter_fast_mode()
+    flash.exit_fast_mode()
+    flash.fold_stats()

@@ -1,0 +1,13 @@
+"""Fixture: TP303 — a started worker process is never joined.
+
+``launch`` starts a worker and falls off the end of the function
+without ``join()``/``terminate()`` and without handing the process
+off to any tracking structure — the leaked-worker shape the PR-6
+supervisor's lifecycle bookkeeping exists to prevent.  The typestate
+pass must flag exactly the spawn.
+"""
+
+
+def launch(ctx, target):
+    worker = ctx.Process(target=target, daemon=True)
+    worker.start()

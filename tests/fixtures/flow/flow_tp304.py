@@ -1,0 +1,22 @@
+"""Fixture: TP304 — run path entered without the per-run reset.
+
+``run`` dispatches into ``serve_request`` without ``_reset_state``
+dominating it, so a reused device replays with the previous run's
+queue state — the PR-4 channel-cursor bug class, caught here as an
+ordering violation instead of a missing re-initialization.  The
+typestate pass must flag exactly the dispatch site.
+"""
+
+
+class DeviceModel:
+    def _reset_state(self):
+        self.busy = 0.0
+
+    def serve_request(self, request):
+        self.busy += request.service_us
+
+
+class UnresetDevice(DeviceModel):
+    def run(self, trace):
+        for request in trace:
+            self.serve_request(request)

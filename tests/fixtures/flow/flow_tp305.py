@@ -1,0 +1,15 @@
+"""Fixture: TP305 — a with-able resource managed by hand.
+
+``load_trace`` opens and closes the handle on the normal path, so it
+is not a TP301 leak — but nothing protects the window in between, and
+an exception while parsing unwinds past the ``close()``.  The
+typestate pass must flag exactly the ``open`` site and recommend a
+``with`` block.
+"""
+
+
+def load_trace(path):
+    handle = open(path, encoding="utf-8")
+    lines = handle.readlines()
+    handle.close()
+    return lines

@@ -13,7 +13,7 @@ import pathlib
 import pytest
 
 from repro.analysis.__main__ import main
-from repro.analysis.flow import DOMAIN_RULES, FLOW_RULES
+from repro.analysis.flow import DOMAIN_RULES, FLOW_RULES, PROTOCOL_RULES
 from repro.analysis.flow.sarif import SARIF_VERSION
 from repro.analysis.lint import RULES
 
@@ -46,7 +46,8 @@ def test_json_round_trips(capsys):
                                 "message", "snippet", "suppressed"}
         assert (finding["rule"] in RULES
                 or finding["rule"] in FLOW_RULES
-                or finding["rule"] in DOMAIN_RULES)
+                or finding["rule"] in DOMAIN_RULES
+                or finding["rule"] in PROTOCOL_RULES)
         assert finding["suppressed"] is False
     # status chatter goes to stderr, keeping stdout machine-parseable
     assert "finding(s)" in err
@@ -86,7 +87,9 @@ def test_sarif_required_fields(capsys):
     assert driver["name"] == "repro.analysis"
     rule_ids = [rule["id"] for rule in driver["rules"]]
     assert rule_ids == sorted(
-        set(RULES) | set(FLOW_RULES) | set(DOMAIN_RULES))
+        set(RULES) | set(FLOW_RULES) | set(DOMAIN_RULES)
+        | set(PROTOCOL_RULES))
+    assert set(PROTOCOL_RULES) <= set(rule_ids)
     for rule in driver["rules"]:
         assert rule["shortDescription"]["text"]
         assert rule["defaultConfiguration"]["level"] in (
@@ -269,17 +272,39 @@ def test_finding_paths_normalize_to_repo_relative(
 # rules listing
 # ----------------------------------------------------------------------
 def test_rules_listing_grouped_and_sorted(capsys):
-    """Snapshot of the rules subcommand structure: four family blocks
-    in TP0xx/TP1xx/TP2xx/SANxxx order, each sorted by code."""
+    """Snapshot of the rules subcommand structure: five family blocks
+    in TP0xx/TP1xx/TP2xx/TP3xx/SANxxx order, each sorted by code."""
     from repro.analysis.checkers import SAN_RULES
     assert main(["rules"]) == 0
     out = capsys.readouterr().out
     blocks = out.strip().split("\n\n")
-    assert len(blocks) == 4
+    assert len(blocks) == 5
     expected = [sorted(RULES), sorted(FLOW_RULES),
-                sorted(DOMAIN_RULES), sorted(SAN_RULES)]
+                sorted(DOMAIN_RULES), sorted(PROTOCOL_RULES),
+                sorted(SAN_RULES)]
     for block, codes in zip(blocks, expected):
         header, *entries = block.splitlines()
         assert header.endswith(":")
         assert [line.split()[0] for line in entries] == codes
     assert blocks[2].startswith("TP2xx")
+    assert blocks[3].startswith("TP3xx")
+
+
+# ----------------------------------------------------------------------
+# --stats: one shared parse, per-pass wall-clock
+# ----------------------------------------------------------------------
+def test_stats_line_reports_every_pass_once(capsys):
+    """--stats prints one stderr line with the parse plus all four
+    analysis passes; stdout stays machine-parseable."""
+    code, out, err = _lint(
+        [str(FLOW_FIXTURE), "--no-baseline", "--format", "json",
+         "--stats"], capsys)
+    assert code == 1
+    assert json.loads(out)["findings"]
+    stats_lines = [line for line in err.splitlines()
+                   if line.startswith("stats:")]
+    assert len(stats_lines) == 1
+    for label in ("parse", "lint", "flow", "domains", "protocols"):
+        assert f" {label} " in f" {stats_lines[0]} ".replace(
+            "stats: ", " "), (label, stats_lines[0])
+    assert "one shared parse" in stats_lines[0]

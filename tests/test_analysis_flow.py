@@ -9,9 +9,10 @@ through one level of helper indirection.
 
 import pathlib
 
-from repro.analysis.flow import (DOMAIN_RULES, FLOW_RULES, FlowEngine,
-                                 Project, analyze_paths,
-                                 analyze_source, fixed_point)
+from repro.analysis.flow import (DOMAIN_RULES, FLOW_RULES,
+                                 PROTOCOL_RULES, FlowEngine, Project,
+                                 analyze_paths, analyze_source,
+                                 fixed_point)
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 SRC = ROOT / "src"
@@ -31,7 +32,8 @@ def test_src_tree_is_flow_clean():
 
 
 def test_each_fixture_triggers_exactly_its_rule():
-    for code in sorted(FLOW_RULES) + sorted(DOMAIN_RULES):
+    for code in (sorted(FLOW_RULES) + sorted(DOMAIN_RULES)
+                 + sorted(PROTOCOL_RULES)):
         fixture = FLOW_FIXTURES / f"flow_{code.lower()}.py"
         findings = analyze_paths([str(fixture)])
         assert {f.rule for f in findings} == {code}, (code, findings)

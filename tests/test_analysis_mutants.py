@@ -1,10 +1,11 @@
-"""Mutation self-validation of the TP2xx domain pass.
+"""Mutation self-validation of the TP2xx domain and TP3xx protocol passes.
 
-The acceptance gate for the domain analysis: every seeded mutant in
-``repro.analysis.mutants`` must be killed by its expected rule while
-the pristine ``src`` tree stays clean.  One harness run analyzes the
-tree eleven times (~10s); everything else here is cheap corpus and
-plumbing checks.
+The acceptance gate for the flow analyses: every seeded mutant in
+``repro.analysis.mutants`` — the TP2xx domain corpus and the TP3xx
+protocol corpus alike — must be killed by its expected rule while the
+pristine ``src`` tree stays clean.  One harness run analyzes the tree
+once per mutant plus once pristine (~1 min); everything else here is
+cheap corpus and plumbing checks.
 """
 
 import pathlib
@@ -13,8 +14,11 @@ import pytest
 
 from repro.analysis.__main__ import main
 from repro.analysis.flow.domains import DOMAIN_RULES
-from repro.analysis.mutants import (MUTANTS, Mutant, MutantApplyError,
-                                    _apply, run_mutants)
+from repro.analysis.flow.typestate import PROTOCOL_RULES
+from repro.analysis.mutants import (DOMAIN_MUTANTS, MUTANTS,
+                                    PROTOCOL_MUTANTS, Mutant,
+                                    MutantApplyError, _apply,
+                                    run_mutants)
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -23,17 +27,38 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 # Corpus shape
 # ----------------------------------------------------------------------
 def test_corpus_is_well_formed():
-    assert len(MUTANTS) >= 10
+    assert len(DOMAIN_MUTANTS) >= 10
+    assert len(PROTOCOL_MUTANTS) >= 8
+    assert MUTANTS == DOMAIN_MUTANTS + PROTOCOL_MUTANTS
     assert len({m.mid for m in MUTANTS}) == len(MUTANTS)
-    for mutant in MUTANTS:
+    for mutant in DOMAIN_MUTANTS:
         assert mutant.rule in DOMAIN_RULES
         assert mutant.path.startswith(("repro/ftl/", "repro/ssd/"))
+    for mutant in PROTOCOL_MUTANTS:
+        assert mutant.rule in PROTOCOL_RULES
+        assert mutant.path.startswith(
+            ("repro/ftl/", "repro/ssd/", "repro/experiments/"))
+    for mutant in MUTANTS:
         assert mutant.before != mutant.after
         assert (ROOT / "src" / mutant.path).is_file()
 
 
 def test_corpus_covers_every_domain_rule():
-    assert {m.rule for m in MUTANTS} == set(DOMAIN_RULES)
+    assert {m.rule for m in DOMAIN_MUTANTS} == set(DOMAIN_RULES)
+
+
+def test_corpus_covers_every_protocol_rule():
+    assert {m.rule for m in PROTOCOL_MUTANTS} == set(PROTOCOL_RULES)
+
+
+def test_protocol_corpus_spans_the_advertised_bug_classes():
+    """The ISSUE's named mutant classes are all represented: a deleted
+    finally, a swapped acquire/release, a dropped lifecycle cleanup,
+    and an early return before the release."""
+    blurbs = " | ".join(m.description.lower() for m in PROTOCOL_MUTANTS)
+    for needle in ("deleted finally", "swapped", "dropped",
+                   "early return"):
+        assert needle in blurbs, needle
 
 
 def test_before_text_matches_head_exactly_once():

@@ -141,7 +141,7 @@ class TestDeviceLevelParity:
                         pages_per_block=8, read_error_rate=0.01)
         ftl = OptimalFTL(SimulationConfig(ssd=ssd))
         with pytest.raises(FlashError):
-            ftl.flash.enter_fast_mode()
+            ftl.flash.enter_fast_mode()  # tp: allow=TP301 - must raise
 
     def test_sanitizer_sees_every_op(self, sanitized_config):
         """FTLSan runs in the policy slice: full per-op coverage."""
@@ -160,6 +160,50 @@ class TestDeviceLevelParity:
         assert not ftl.flash.fast_mode
         # the flash is reusable on the reference path afterwards
         device.run(self._trace(count=50, seed=12))
+
+    def test_fast_mode_contract_survives_mid_run_exception(
+            self, roomy_config, monkeypatch):
+        """The runtime mirror of the TP301 typestate rule: a fault in
+        the serve loop must leave the device exactly as a reference-
+        path fault would — fast mode off, the pending fast-mode
+        counters folded exactly once, and a follow-up reference run
+        digest-identical between the two abort histories."""
+        trace = self._trace(count=400)
+        follow_up = self._trace(count=120, seed=21)
+
+        def exploding(ftl, after):
+            original, state = type(ftl).serve_request, {"served": 0}
+
+            def serving(request):
+                state["served"] += 1
+                if state["served"] == after:
+                    raise RuntimeError("injected mid-run fault")
+                return original(ftl, request)
+            return serving
+
+        digests = []
+        for fast in (False, True):
+            ftl = make_ftl("dftl", roomy_config)
+            device = SSDevice(ftl)
+            monkeypatch.setattr(ftl, "serve_request",
+                                exploding(ftl, after=151))
+            folds = {"n": 0}
+            original_fold = ftl.flash.fold_stats
+
+            def counting_fold(original_fold=original_fold,
+                              folds=folds):
+                folds["n"] += 1
+                original_fold()
+            monkeypatch.setattr(ftl.flash, "fold_stats", counting_fold)
+            runner = run_fast if fast else type(device).run
+            with pytest.raises(RuntimeError, match="injected"):
+                runner(device, trace)
+            assert not ftl.flash.fast_mode
+            # the finally-block exit folds the batched counters once;
+            # the reference path has nothing pending to fold
+            assert folds["n"] == (1 if fast else 0)
+            digests.append(digest(device.run(follow_up)))
+        assert digests[0] == digests[1]
 
 
 def bursty_write_trace(pages=512, bursts=40, burst_len=20,
